@@ -1,0 +1,98 @@
+/// \file ablation_sat_opts.cpp
+/// \brief Substrate ablation: how much of msu4's performance comes from
+///        the CDCL heuristics the paper inherits from MiniSat? Runs
+///        msu4-v2 with conflict-clause minimization off/basic/recursive,
+///        phase saving off, and geometric instead of Luby restarts.
+///
+/// Usage: ablation_sat_opts [timeout_seconds] [size_scale] [per_family]
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/msu4.h"
+#include "harness/suite.h"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  msu::Solver::Options sat;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msu;
+
+  const double timeout = argc > 1 ? std::atof(argv[1]) : 1.0;
+  SuiteParams sp;
+  sp.sizeScale = argc > 2 ? std::atof(argv[2]) : 0.5;
+  sp.perFamily = argc > 3 ? std::atoi(argv[3]) : 6;
+  const std::vector<Instance> suite = buildMixedSuite(sp);
+
+  std::vector<Variant> variants;
+  variants.push_back({"baseline", {}});
+  {
+    Variant v{"ccmin-off", {}};
+    v.sat.ccmin_mode = 0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"ccmin-basic", {}};
+    v.sat.ccmin_mode = 1;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no-phase-saving", {}};
+    v.sat.phase_saving = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"geometric-restart", {}};
+    v.sat.luby_restarts = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"lbd-reduce", {}};
+    v.sat.lbd_reduce = true;
+    variants.push_back(v);
+  }
+
+  std::cout << "CDCL-option ablation under msu4-v2, " << suite.size()
+            << " instances, timeout " << timeout << " s\n\n";
+  std::cout << std::left << std::setw(20) << "variant" << std::right
+            << std::setw(9) << "aborted" << std::setw(9) << "solved"
+            << std::setw(14) << "conflicts" << std::setw(12) << "total t[s]"
+            << '\n';
+
+  for (const Variant& v : variants) {
+    int aborted = 0;
+    int solved = 0;
+    std::int64_t conflicts = 0;
+    double total = 0.0;
+    for (const Instance& inst : suite) {
+      MaxSatOptions o;
+      o.sat = v.sat;
+      o.budget = Budget::wallClock(timeout);
+      Msu4Solver solver(o);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MaxSatResult r = solver.solve(inst.wcnf);
+      total += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+      conflicts += r.satStats.conflicts;
+      if (r.status == MaxSatStatus::Unknown) {
+        ++aborted;
+      } else {
+        ++solved;
+      }
+    }
+    std::cout << std::left << std::setw(20) << v.name << std::right
+              << std::setw(9) << aborted << std::setw(9) << solved
+              << std::setw(14) << conflicts << std::setw(12) << std::fixed
+              << std::setprecision(2) << total << '\n';
+  }
+  return 0;
+}

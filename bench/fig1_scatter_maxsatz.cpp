@@ -1,0 +1,14 @@
+/// \file fig1_scatter_maxsatz.cpp
+/// \brief Figure 1 of the paper: scatter plot of maxsatz (y) vs msu4-v2
+///        (x) runtimes. Paper shape: almost every point far above the
+///        diagonal — maxsatz only competitive on instances both solve in
+///        well under 0.1 s.
+///
+/// Usage: fig1_scatter_maxsatz [timeout_seconds] [size_scale] [per_family]
+
+#include "fig_scatter_common.h"
+
+int main(int argc, char** argv) {
+  return msu::runScatterFigure("Figure 1", "msu4-v2", "maxsatz",
+                               "fig1_scatter.csv", argc, argv);
+}

@@ -1,0 +1,14 @@
+/// \file fig2_scatter_pbo.cpp
+/// \brief Figure 2 of the paper: scatter plot of the PBO formulation (y)
+///        vs msu4-v2 (x). Paper shape: msu4-v2 wins broadly, with a
+///        visible set of pbo wins (attributed there to minisat+'s newer
+///        MiniSat; our substrate is identical for both, so expect fewer).
+///
+/// Usage: fig2_scatter_pbo [timeout_seconds] [size_scale] [per_family]
+
+#include "fig_scatter_common.h"
+
+int main(int argc, char** argv) {
+  return msu::runScatterFigure("Figure 2", "msu4-v2", "pbo",
+                               "fig2_scatter.csv", argc, argv);
+}

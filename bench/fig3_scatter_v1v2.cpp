@@ -1,0 +1,15 @@
+/// \file fig3_scatter_v1v2.cpp
+/// \brief Figure 3 of the paper: scatter plot of msu4-v1 (BDD encodings,
+///        y) vs msu4-v2 (sorting networks, x). Paper shape: correlated
+///        cloud around the diagonal with v2 ahead overall (fewer
+///        aborts), i.e. encoding choice matters but less than algorithm
+///        choice.
+///
+/// Usage: fig3_scatter_v1v2 [timeout_seconds] [size_scale] [per_family]
+
+#include "fig_scatter_common.h"
+
+int main(int argc, char** argv) {
+  return msu::runScatterFigure("Figure 3", "msu4-v2", "msu4-v1",
+                               "fig3_scatter.csv", argc, argv);
+}

@@ -1,0 +1,60 @@
+/// \file fig_scatter_common.h
+/// \brief Shared driver for the Figure 1-3 scatter-plot benches: run two
+///        engines over the mixed suite, emit the per-instance runtime
+///        pairs as CSV (the paper's scatter points) and a textual
+///        summary of who wins where.
+
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/runner.h"
+#include "harness/suite.h"
+#include "harness/tables.h"
+
+namespace msu {
+
+/// Runs the scatter experiment `ySolver` (y axis) vs `xSolver` (x axis;
+/// msu4-v2 in all the paper's figures). Writes `csvPath` and prints the
+/// summary. Returns a process exit code.
+inline int runScatterFigure(const std::string& figureName,
+                            const std::string& xSolver,
+                            const std::string& ySolver,
+                            const std::string& csvPath, int argc,
+                            char** argv) {
+  RunConfig config;
+  config.timeoutSeconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+  SuiteParams sp;
+  sp.sizeScale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  sp.perFamily = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  const std::vector<Instance> suite = buildMixedSuite(sp);
+  std::cout << figureName << ": " << ySolver << " (y) vs " << xSolver
+            << " (x), " << suite.size() << " instances, timeout "
+            << config.timeoutSeconds << " s\n";
+
+  const std::vector<std::string> solvers{xSolver, ySolver};
+  const std::vector<RunRecord> records = runMatrix(solvers, suite, config);
+  const std::vector<ScatterPoint> points =
+      makeScatter(records, xSolver, ySolver);
+
+  std::ofstream csv(csvPath);
+  if (csv) {
+    writeScatterCsv(csv, points, xSolver, ySolver);
+    std::cout << "wrote " << points.size() << " points to " << csvPath
+              << "\n";
+  }
+  printScatterSummary(std::cout, points, xSolver, ySolver);
+
+  const int bad = crossCheckOptima(records, std::cerr);
+  if (bad > 0) {
+    std::cerr << bad << " optimum disagreements!\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace msu

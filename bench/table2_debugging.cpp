@@ -1,0 +1,47 @@
+/// \file table2_debugging.cpp
+/// \brief Reproduces Table 2 of the paper: aborted instances on the
+///        design-debugging family (Safarpour et al. style instances).
+///
+/// Paper reference (29 instances, 1000 s budget):
+///   maxsatz 26, pbo 21, msu4-v1 3, msu4-v2 3 aborted.
+/// Expected shape here: both msu4 variants abort far fewer instances
+/// than maxsatz and pbo.
+///
+/// Usage: table2_debugging [timeout_seconds] [size_scale] [count]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/runner.h"
+#include "harness/suite.h"
+#include "harness/tables.h"
+
+int main(int argc, char** argv) {
+  using namespace msu;
+
+  RunConfig config;
+  config.timeoutSeconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+  SuiteParams sp;
+  sp.sizeScale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  sp.perFamily = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  const std::vector<Instance> suite = buildDebugSuite(sp);
+  std::cout << "design-debugging suite: " << suite.size()
+            << " instances, timeout " << config.timeoutSeconds
+            << " s (paper: 29 instances, 1000 s)\n\n";
+
+  const std::vector<std::string> solvers{"maxsatz", "pbo", "msu4-v1",
+                                         "msu4-v2"};
+  const std::vector<RunRecord> records = runMatrix(solvers, suite, config);
+
+  printAbortedTable(std::cout, records, solvers,
+                    "Table 2: Design debugging instances (aborted)");
+
+  const int bad = crossCheckOptima(records, std::cerr);
+  if (bad > 0) {
+    std::cerr << bad << " optimum disagreements!\n";
+    return 1;
+  }
+  std::cout << "\nall solver optima agree on commonly solved instances\n";
+  return 0;
+}

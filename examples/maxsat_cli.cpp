@@ -1,0 +1,156 @@
+/// \file maxsat_cli.cpp
+/// \brief A command-line MaxSAT solver over the library — the tool a
+///        downstream user would actually run. Reads DIMACS CNF/WCNF from
+///        a file (or stdin), solves with a selectable engine, and prints
+///        MaxSAT-evaluation-style output (o/s/v lines).
+///
+/// Usage:
+///   maxsat_cli [options] [file.wcnf|file.cnf|-]
+///     --algo NAME       engine (default msu4-v2); see --list
+///     --timeout SECONDS wall-clock budget (default: none)
+///     --stats           print iteration/conflict statistics
+///     --no-model        suppress the v line
+///     --list            list available engines
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cnf/dimacs.h"
+#include "core/preprocess.h"
+#include "harness/factory.h"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: maxsat_cli [--algo NAME] [--timeout SEC] [--stats]\n"
+      "                  [--preprocess] [--no-model] [--list] [file.wcnf|-]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msu;
+
+  std::string algo = "msu4-v2";
+  double timeout = 0.0;
+  bool stats = false;
+  bool preprocess = false;
+  bool printModel = true;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--algo" && i + 1 < argc) {
+      algo = argv[++i];
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout = std::atof(argv[++i]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--preprocess") {
+      preprocess = true;
+    } else if (arg == "--no-model") {
+      printModel = false;
+    } else if (arg == "--list") {
+      for (const std::string& name : solverNames()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+
+  WcnfFormula instance;
+  try {
+    if (path.empty() || path == "-") {
+      instance = readDimacsWcnf(std::cin);
+    } else {
+      instance = loadDimacsWcnf(path);
+    }
+  } catch (const DimacsError& e) {
+    std::cerr << "c parse error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "c " << instance.summary() << "\n";
+
+  // Optional MaxSAT-safe preprocessing (hard UP, dedup, merge).
+  Weight forcedCost = 0;
+  Assignment forced;
+  if (preprocess) {
+    PreprocessResult pre = preprocessWcnf(instance);
+    if (!pre.simplified) {
+      std::cout << "c preprocessing refuted the hard clauses\n";
+      std::cout << "s UNSATISFIABLE\n";
+      return 0;
+    }
+    forcedCost = pre.forcedCost;
+    forced = std::move(pre.forced);
+    instance = std::move(*pre.simplified);
+    std::cout << "c preprocessed: " << instance.summary() << ", fixed "
+              << pre.fixedVars << " vars, forced cost " << forcedCost << "\n";
+  }
+
+  MaxSatOptions opts;
+  if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
+  std::unique_ptr<MaxSatSolver> solver = makeSolver(algo, opts);
+  if (!solver) {
+    std::cerr << "c unknown engine '" << algo << "' (see --list)\n";
+    return 2;
+  }
+  std::cout << "c engine: " << solver->name() << "\n";
+
+  MaxSatResult result = solver->solve(instance);
+
+  // Splice hard-forced values back into the model after preprocessing.
+  if (preprocess && result.status == MaxSatStatus::Optimum) {
+    for (std::size_t v = 0; v < result.model.size() && v < forced.size();
+         ++v) {
+      if (forced[v] != lbool::Undef) result.model[v] = forced[v];
+    }
+  }
+
+  switch (result.status) {
+    case MaxSatStatus::Optimum:
+      std::cout << "o " << result.cost + forcedCost << "\n";
+      std::cout << "s OPTIMUM FOUND\n";
+      if (printModel) {
+        std::cout << "v";
+        for (std::size_t v = 0; v < result.model.size(); ++v) {
+          std::cout << ' '
+                    << (result.model[v] == lbool::True
+                            ? static_cast<int>(v) + 1
+                            : -(static_cast<int>(v) + 1));
+        }
+        std::cout << "\n";
+      }
+      break;
+    case MaxSatStatus::UnsatisfiableHard:
+      std::cout << "s UNSATISFIABLE\n";
+      break;
+    case MaxSatStatus::Unknown:
+      std::cout << "c bounds: " << result.lowerBound << " <= cost <= "
+                << result.upperBound << "\n";
+      std::cout << "s UNKNOWN\n";
+      break;
+  }
+
+  if (stats) {
+    std::cout << "c iterations " << result.iterations << "\n";
+    std::cout << "c cores      " << result.coresFound << "\n";
+    std::cout << "c sat-calls  " << result.satCalls << "\n";
+    std::cout << "c conflicts  " << result.satStats.conflicts << "\n";
+    std::cout << "c decisions  " << result.satStats.decisions << "\n";
+    std::cout << "c props      " << result.satStats.propagations << "\n";
+  }
+  return result.status == MaxSatStatus::Unknown ? 1 : 0;
+}

@@ -1,0 +1,30 @@
+#include "cnf/literal.h"
+
+#include <ostream>
+
+namespace msu {
+
+std::string toString(Lit p) {
+  if (!p.defined()) return "lit-undef";
+  std::string s = p.negative() ? "~x" : "x";
+  return s + std::to_string(p.var());
+}
+
+std::string toString(lbool v) {
+  switch (v) {
+    case lbool::True:
+      return "T";
+    case lbool::False:
+      return "F";
+    default:
+      return "U";
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Lit p) { return os << toString(p); }
+
+std::ostream& operator<<(std::ostream& os, lbool v) {
+  return os << toString(v);
+}
+
+}  // namespace msu

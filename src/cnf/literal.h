@@ -1,0 +1,145 @@
+/// \file literal.h
+/// \brief Fundamental propositional types: variables, literals and the
+///        three-valued logic value used across the library.
+///
+/// The representation follows the MiniSat convention: a variable is a
+/// 0-based integer, a literal packs a variable and a sign into a single
+/// integer (`2*var + sign`), so literals index arrays directly (watch
+/// lists, saved phases, ...).
+
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace msu {
+
+/// A propositional variable, 0-based. Negative values are invalid except
+/// for the sentinel `kUndefVar`.
+using Var = std::int32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kUndefVar = -1;
+
+/// A literal: a variable together with a sign.
+///
+/// Internally encoded as `2*var + sign` where `sign == 1` means the
+/// negative (complemented) literal. Encoded values are non-negative for
+/// valid literals, which makes `Lit::index()` suitable for direct array
+/// indexing.
+class Lit {
+ public:
+  /// Constructs the undefined literal.
+  constexpr Lit() = default;
+
+  /// Constructs a literal over `v`; `negative == true` yields `¬v`.
+  constexpr Lit(Var v, bool negative) : code_(2 * v + (negative ? 1 : 0)) {
+    assert(v >= 0);
+  }
+
+  /// Rebuilds a literal from its raw encoding (e.g. from `index()`).
+  [[nodiscard]] static constexpr Lit fromIndex(std::int32_t index) {
+    Lit p;
+    p.code_ = index;
+    return p;
+  }
+
+  /// Builds a literal from a DIMACS integer (non-zero; negative = negated).
+  [[nodiscard]] static constexpr Lit fromDimacs(std::int32_t dimacs) {
+    assert(dimacs != 0);
+    return dimacs > 0 ? Lit(dimacs - 1, false) : Lit(-dimacs - 1, true);
+  }
+
+  /// The underlying variable.
+  [[nodiscard]] constexpr Var var() const { return code_ >> 1; }
+
+  /// True iff this is the negative literal of its variable.
+  [[nodiscard]] constexpr bool negative() const { return (code_ & 1) != 0; }
+
+  /// True iff this is the positive literal of its variable.
+  [[nodiscard]] constexpr bool positive() const { return !negative(); }
+
+  /// Raw encoding, usable as a dense array index.
+  [[nodiscard]] constexpr std::int32_t index() const { return code_; }
+
+  /// True iff this literal carries a real variable.
+  [[nodiscard]] constexpr bool defined() const { return code_ >= 0; }
+
+  /// DIMACS form: 1-based, sign carries polarity.
+  [[nodiscard]] constexpr std::int32_t toDimacs() const {
+    return negative() ? -(var() + 1) : (var() + 1);
+  }
+
+  /// Complement.
+  [[nodiscard]] constexpr Lit operator~() const {
+    assert(defined());
+    return fromIndex(code_ ^ 1);
+  }
+
+  friend constexpr auto operator<=>(Lit, Lit) = default;
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+/// Sentinel for "no literal".
+inline constexpr Lit kUndefLit{};
+
+/// Convenience factory mirroring MiniSat's `mkLit`.
+[[nodiscard]] constexpr Lit mkLit(Var v, bool negative = false) {
+  return Lit(v, negative);
+}
+
+/// Positive literal of `v`.
+[[nodiscard]] constexpr Lit posLit(Var v) { return Lit(v, false); }
+
+/// Negative literal of `v`.
+[[nodiscard]] constexpr Lit negLit(Var v) { return Lit(v, true); }
+
+/// Three-valued logic constant: true, false or undefined.
+enum class lbool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// Lifts a bool into lbool.
+[[nodiscard]] constexpr lbool toLbool(bool b) {
+  return b ? lbool::True : lbool::False;
+}
+
+/// Negation over lbool; Undef is a fixed point.
+[[nodiscard]] constexpr lbool operator~(lbool v) {
+  switch (v) {
+    case lbool::False:
+      return lbool::True;
+    case lbool::True:
+      return lbool::False;
+    default:
+      return lbool::Undef;
+  }
+}
+
+/// Applies the sign of a literal to a variable value: the value of literal
+/// `p` when `p.var()` has value `v`.
+[[nodiscard]] constexpr lbool applySign(lbool v, Lit p) {
+  return p.negative() ? ~v : v;
+}
+
+/// Human-readable literal, e.g. "x3" / "~x3".
+[[nodiscard]] std::string toString(Lit p);
+
+/// Human-readable lbool: "T" / "F" / "U".
+[[nodiscard]] std::string toString(lbool v);
+
+std::ostream& operator<<(std::ostream& os, Lit p);
+std::ostream& operator<<(std::ostream& os, lbool v);
+
+}  // namespace msu
+
+template <>
+struct std::hash<msu::Lit> {
+  std::size_t operator()(msu::Lit p) const noexcept {
+    return std::hash<std::int32_t>{}(p.index());
+  }
+};

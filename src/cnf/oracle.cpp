@@ -1,0 +1,58 @@
+#include "cnf/oracle.h"
+
+#include <cassert>
+
+namespace msu {
+namespace {
+
+/// Fills `a` from the bits of `mask` (variable v <- bit v).
+void assignmentFromMask(std::uint64_t mask, int numVars, Assignment& a) {
+  a.resize(numVars);
+  for (int v = 0; v < numVars; ++v) {
+    a[v] = toLbool(((mask >> v) & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+std::optional<Assignment> oracleSat(const CnfFormula& cnf) {
+  assert(cnf.numVars() <= kOracleMaxVars);
+  const int n = cnf.numVars();
+  Assignment a;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    assignmentFromMask(mask, n, a);
+    if (cnf.satisfies(a)) return a;
+  }
+  return std::nullopt;
+}
+
+OracleResult oracleMaxSat(const WcnfFormula& wcnf) {
+  assert(wcnf.numVars() <= kOracleMaxVars);
+  const int n = wcnf.numVars();
+  OracleResult best;
+  Assignment a;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    assignmentFromMask(mask, n, a);
+    std::optional<Weight> c = wcnf.cost(a);
+    if (!c) continue;
+    if (!best.optimumCost || *c < *best.optimumCost) {
+      best.optimumCost = *c;
+      best.model = a;
+      if (*c == 0) break;  // cannot improve
+    }
+  }
+  return best;
+}
+
+bool oracleUnsat(const CnfFormula& cnf) { return !oracleSat(cnf).has_value(); }
+
+bool oracleSubsetUnsat(const CnfFormula& cnf,
+                       std::span<const int> clauseIndices) {
+  CnfFormula sub(cnf.numVars());
+  for (int i : clauseIndices) sub.addClause(cnf.clause(i));
+  return oracleUnsat(sub);
+}
+
+}  // namespace msu

@@ -1,0 +1,45 @@
+/// \file oracle.h
+/// \brief Exhaustive reference procedures used as ground truth in tests
+///        and small-scale experiments. Exponential in the number of
+///        variables; guarded against accidental use on large inputs.
+
+#pragma once
+
+#include <optional>
+
+#include "cnf/formula.h"
+#include "cnf/wcnf.h"
+
+namespace msu {
+
+/// Result of the exhaustive MaxSAT oracle.
+struct OracleResult {
+  /// Minimum total weight of falsified soft clauses over assignments
+  /// satisfying all hard clauses; unset iff the hard clauses are
+  /// unsatisfiable.
+  std::optional<Weight> optimumCost;
+  /// A witnessing optimal assignment (complete), when optimumCost is set.
+  Assignment model;
+};
+
+/// Maximum variable count the oracles accept (2^26 evaluations worst case
+/// is already seconds; tests stay far below).
+inline constexpr int kOracleMaxVars = 26;
+
+/// Exhaustive SAT check. Returns a model if satisfiable.
+/// Precondition: `cnf.numVars() <= kOracleMaxVars`.
+[[nodiscard]] std::optional<Assignment> oracleSat(const CnfFormula& cnf);
+
+/// Exhaustive MaxSAT: minimizes falsified soft weight subject to hard
+/// clauses. Precondition: `wcnf.numVars() <= kOracleMaxVars`.
+[[nodiscard]] OracleResult oracleMaxSat(const WcnfFormula& wcnf);
+
+/// Exhaustive check that `cnf` is unsatisfiable (convenience).
+[[nodiscard]] bool oracleUnsat(const CnfFormula& cnf);
+
+/// Exhaustive check that a clause subset (given by indices into
+/// `cnf.clauses()`) is unsatisfiable — used to validate extracted cores.
+[[nodiscard]] bool oracleSubsetUnsat(const CnfFormula& cnf,
+                                     std::span<const int> clauseIndices);
+
+}  // namespace msu

@@ -1,0 +1,92 @@
+#include "core/binary_search.h"
+
+#include "core/incremental_atmost.h"
+#include "core/soft_tracker.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+BinarySearchSolver::BinarySearchSolver(MaxSatOptions options)
+    : opts_(options) {}
+
+std::string BinarySearchSolver::name() const {
+  return std::string("binary-") + toString(opts_.encoding);
+}
+
+MaxSatResult BinarySearchSolver::solve(const WcnfFormula& input) {
+  MaxSatResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;
+  const WcnfFormula& formula = *reduced;
+  const Weight m = formula.numSoft();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SoftTracker tracker(sat, formula);
+  SolverSink sink(sat);
+  for (int i = 0; i < tracker.numSoft(); ++i) tracker.relax(i);
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight lower = 0;
+  Weight upper = m + 1;  // no model yet
+  Assignment bestModel;
+
+  auto finish = [&](MaxSatStatus st) {
+    result.status = st;
+    result.lowerBound = lower;
+    result.upperBound = std::min(upper, m);
+    if (st == MaxSatStatus::Optimum) {
+      result.cost = upper;
+      result.model = std::move(bestModel);
+    } else if (upper <= m) {
+      result.model = std::move(bestModel);
+    }
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  // Initial model establishes feasibility and the first upper bound.
+  ++result.iterations;
+  ++result.satCalls;
+  {
+    const lbool st = sat.solve();
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
+    if (st == lbool::False) return finish(MaxSatStatus::UnsatisfiableHard);
+    upper = tracker.relaxedFalsifiedCost(formula, sat.model());
+    bestModel = tracker.originalModel(sat.model());
+  }
+
+  AssumableAtMost bound(sink, tracker.blockingLits(), opts_.encoding);
+
+  while (lower < upper) {
+    ++result.iterations;
+    ++result.satCalls;
+    const Weight mid = lower + (upper - lower) / 2;
+    std::vector<Lit> assumps;
+    if (std::optional<Lit> b = bound.boundLit(static_cast<int>(mid))) {
+      assumps.push_back(*b);
+    }
+    const lbool st = sat.solve(assumps);
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
+    if (st == lbool::True) {
+      const Weight nu = tracker.relaxedFalsifiedCost(formula, sat.model());
+      if (nu < upper) {
+        upper = nu;
+        bestModel = tracker.originalModel(sat.model());
+        if (opts_.onBounds) opts_.onBounds(lower, upper);
+      }
+    } else {
+      ++result.coresFound;
+      lower = mid + 1;
+      if (opts_.onBounds) opts_.onBounds(lower, upper);
+    }
+  }
+  return finish(MaxSatStatus::Optimum);
+}
+
+}  // namespace msu

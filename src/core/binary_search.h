@@ -1,0 +1,27 @@
+/// \file binary_search.h
+/// \brief Binary search on the MaxSAT cost: relax every soft clause up
+///        front and bisect the cost interval with assumption-enforced
+///        cardinality bounds. An extension of the paper's linear searches
+///        (discussed in the msu family follow-up work) included here for
+///        the algorithm-family ablation.
+
+#pragma once
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// Cost bisection with assumable bounds.
+class BinarySearchSolver final : public MaxSatSolver {
+ public:
+  explicit BinarySearchSolver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+};
+
+}  // namespace msu

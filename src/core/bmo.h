@@ -1,0 +1,51 @@
+/// \file bmo.h
+/// \brief Boolean Multilevel Optimization (BMO): lexicographic MaxSAT
+///        for instances whose weights form strata, each weight strictly
+///        dominating the total of everything below it (Marques-Silva,
+///        Argelich, Graça & Lynce). Design-debugging and covering
+///        problems naturally produce such weight ladders ("first
+///        minimize error sites, then minimize disturbed outputs").
+///
+/// The solver checks the BMO condition, then works down the strata:
+/// each level is a plain unit-weight partial MaxSAT problem (solved by
+/// any unweighted engine) whose optimum is frozen as a hard cardinality
+/// constraint before the next level starts. For a k-level instance this
+/// is k easy unweighted solves instead of one weighted solve over
+/// weights that may span many orders of magnitude.
+
+#pragma once
+
+#include <vector>
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// Checks the BMO property: group the distinct weights in decreasing
+/// order w1 > w2 > ...; require for every prefix that `wi` exceeds the
+/// total weight of all softs with smaller weights. Returns the strata
+/// (distinct weights, decreasing) when satisfied, empty otherwise.
+/// Unweighted instances are trivially BMO (one stratum).
+[[nodiscard]] std::vector<Weight> bmoStrata(const WcnfFormula& formula);
+
+/// The lexicographic / multilevel engine. Requires the BMO property;
+/// instances without it are delegated to a weighted-native fallback
+/// (OLL) so `solve` is total.
+class BmoSolver final : public MaxSatSolver {
+ public:
+  explicit BmoSolver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+  /// Number of strata the last solve decomposed into (0 when the OLL
+  /// fallback ran).
+  [[nodiscard]] int lastStrata() const { return last_strata_; }
+
+ private:
+  MaxSatOptions opts_;
+  int last_strata_ = 0;
+};
+
+}  // namespace msu

@@ -1,0 +1,65 @@
+#include "core/bounds.h"
+
+#include "core/soft_tracker.h"
+
+namespace msu {
+
+DisjointCoresResult disjointCores(const WcnfFormula& input,
+                                  const Budget& budget) {
+  DisjointCoresResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;
+  const WcnfFormula& formula = *reduced;
+
+  Solver sat;
+  sat.setBudget(budget);
+  SoftTracker tracker(sat, formula);
+  if (!sat.okay()) {
+    // Hard clauses already unsatisfiable: every "core" is within the
+    // hard part; no soft bound is derivable this way.
+    return result;
+  }
+
+  while (true) {
+    ++result.satCalls;
+    const lbool st = sat.solve(tracker.assumptions());
+    if (st == lbool::Undef) return result;  // incomplete
+    if (st == lbool::True) {
+      result.complete = true;
+      return result;
+    }
+    const std::vector<int> coreSoft = tracker.coreSoftIndices(sat.core());
+    if (coreSoft.empty()) {
+      // Unsatisfiable independently of the softs: hard part unsat.
+      result.complete = true;
+      return result;
+    }
+    // Remove the core's clauses from further consideration; the next
+    // core is therefore clause-disjoint from all previous ones.
+    for (int i : coreSoft) tracker.relax(i);
+    result.cores.push_back(coreSoft);
+  }
+}
+
+std::optional<BlockingBoundResult> blockingUpperBound(
+    const WcnfFormula& input, const Budget& budget) {
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return std::nullopt;
+  const WcnfFormula& formula = *reduced;
+
+  Solver sat;
+  sat.setBudget(budget);
+  SoftTracker tracker(sat, formula);
+  for (int i = 0; i < tracker.numSoft(); ++i) tracker.relax(i);
+  if (!sat.okay()) return std::nullopt;
+
+  const lbool st = sat.solve();
+  if (st != lbool::True) return std::nullopt;
+
+  BlockingBoundResult out;
+  out.costUpperBound = tracker.relaxedFalsifiedCost(formula, sat.model());
+  out.model = tracker.originalModel(sat.model());
+  return out;
+}
+
+}  // namespace msu

@@ -1,0 +1,51 @@
+/// \file bounds.h
+/// \brief Direct implementations of the paper's Propositions 1 and 2:
+///        MaxSAT bounds from disjoint unsatisfiable cores and from
+///        blocking-variable models. Used by the `core_bounds` example,
+///        by tests, and as a documentation artifact of §2.3.
+
+#pragma once
+
+#include <vector>
+
+#include "core/maxsat.h"
+#include "cnf/wcnf.h"
+
+namespace msu {
+
+/// Result of disjoint-core enumeration on a plain MaxSAT instance.
+struct DisjointCoresResult {
+  /// Disjoint cores, each a set of soft-clause indices. Disjoint in the
+  /// paper's sense: no two cores share a clause.
+  std::vector<std::vector<int>> cores;
+
+  /// Proposition 1: upper bound on satisfied clauses = numSoft - K.
+  /// In cost terms: cost >= cores.size().
+  [[nodiscard]] Weight costLowerBound() const {
+    return static_cast<Weight>(cores.size());
+  }
+
+  /// True iff enumeration ran to completion within the budget.
+  bool complete = false;
+
+  std::int64_t satCalls = 0;
+};
+
+/// Enumerates disjoint unsatisfiable cores of the soft clauses (subject
+/// to the hard clauses): repeatedly extract a core, remove its clauses,
+/// and continue until the remainder is satisfiable.
+[[nodiscard]] DisjointCoresResult disjointCores(const WcnfFormula& formula,
+                                                const Budget& budget = {});
+
+/// Proposition 2: computes a cost upper bound by relaxing every soft
+/// clause and counting the blocking variables a single model sets to 1
+/// (tightened to the model's true cost). Returns `nullopt` when the hard
+/// clauses are unsatisfiable or the budget runs out.
+struct BlockingBoundResult {
+  Weight costUpperBound = 0;
+  Assignment model;
+};
+[[nodiscard]] std::optional<BlockingBoundResult> blockingUpperBound(
+    const WcnfFormula& formula, const Budget& budget = {});
+
+}  // namespace msu

@@ -1,0 +1,87 @@
+#include "core/incremental_atmost.h"
+
+#include <algorithm>
+
+#include <cassert>
+
+namespace msu {
+
+void IncrementalAtMost::assertAtMost(ClauseSink& sink,
+                                     const std::vector<Lit>& lits, int k) {
+  ++num_asserted_;
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;
+  if (!reuse_ || (enc_ != CardEncoding::Sorter &&
+                  enc_ != CardEncoding::Totalizer)) {
+    encodeAtMost(sink, lits, k, enc_);
+    return;
+  }
+  assert(lits.size() >= covered_.size());
+  if (enc_ == CardEncoding::Sorter) {
+    if (lits != covered_) {
+      sorter_outputs_ = buildSortingNetwork(sink, lits);
+      covered_ = lits;
+    }
+    if (k < 0) {
+      sink.addClause(std::initializer_list<Lit>{});
+      return;
+    }
+    sink.addClause({~sorter_outputs_[static_cast<std::size_t>(k)]});
+    return;
+  }
+  // Totalizer: extend with the new suffix, then assert the unit. Suffix
+  // extension requires `lits` to extend `covered_` as a prefix (callers
+  // provide relaxation-ordered literals); fall back to a fresh tree if
+  // the prefix property ever fails.
+  const bool prefixOk =
+      lits.size() >= covered_.size() &&
+      std::equal(covered_.begin(), covered_.end(), lits.begin());
+  if (!totalizer_ || !prefixOk) {
+    totalizer_.emplace(sink, lits);
+    covered_ = lits;
+  } else if (lits.size() > covered_.size()) {
+    const std::span<const Lit> suffix(lits.data() + covered_.size(),
+                                      lits.size() - covered_.size());
+    totalizer_->addInputs(suffix);
+    covered_ = lits;
+  }
+  if (k < 0) {
+    sink.addClause(std::initializer_list<Lit>{});
+    return;
+  }
+  sink.addClause({~totalizer_->outputs()[static_cast<std::size_t>(k)]});
+}
+
+AssumableAtMost::AssumableAtMost(ClauseSink& sink, std::vector<Lit> lits,
+                                 CardEncoding enc)
+    : sink_(&sink), lits_(std::move(lits)), enc_(enc) {
+  if (enc_ == CardEncoding::Sorter) {
+    sorter_outputs_ = buildSortingNetwork(sink, lits_);
+  } else if (enc_ == CardEncoding::Totalizer) {
+    Totalizer tot(sink, lits_);
+    sorter_outputs_ = tot.outputs();
+  }
+  cache_.resize(lits_.size() + 1);
+}
+
+std::optional<Lit> AssumableAtMost::boundLit(int k) {
+  const int n = static_cast<int>(lits_.size());
+  if (k >= n) return std::nullopt;
+  assert(k >= 0);
+  if (enc_ == CardEncoding::Sorter || enc_ == CardEncoding::Totalizer) {
+    return ~sorter_outputs_[static_cast<std::size_t>(k)];
+  }
+  if (std::optional<Lit>& c = cache_[static_cast<std::size_t>(k)]) return *c;
+  Lit act;
+  if (enc_ == CardEncoding::Bdd) {
+    // The BDD root is a biconditional for the constraint: assume it.
+    act = buildAtMostBdd(*sink_, lits_, k);
+  } else {
+    act = posLit(sink_->newVar());
+    encodeAtMost(*sink_, lits_, k, enc_, act);
+  }
+  cache_[static_cast<std::size_t>(k)] = act;
+  return act;
+}
+
+}  // namespace msu

@@ -1,0 +1,69 @@
+/// \file incremental_atmost.h
+/// \brief Helpers that manage cardinality constraints across the
+///        iterations of a core-guided search: re-encoding when necessary,
+///        reusing sorting networks / extending totalizers when possible.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "encodings/cardinality.h"
+#include "encodings/sink.h"
+#include "encodings/totalizer.h"
+
+namespace msu {
+
+/// Asserts a sequence of constraints `sum(lits) <= k` as *hard* clauses,
+/// where across calls the literal set only grows (append-only) and the
+/// bounds only tighten for a fixed set. This is exactly msu4's usage
+/// pattern (Algorithm 1, line 30).
+///
+/// Reuse policy (when enabled):
+///  * Sorter: if the literal set is unchanged, reuse the existing
+///    network and add only the unit `~out[k]`; rebuild on growth.
+///  * Totalizer: extend the tree with the new literals, then add the
+///    unit — no re-encoding ever.
+///  * Bdd / Sequential / Pairwise: re-encode each call.
+class IncrementalAtMost {
+ public:
+  IncrementalAtMost(CardEncoding enc, bool reuse)
+      : enc_(enc), reuse_(reuse) {}
+
+  /// Adds clauses enforcing `sum(lits) <= k`. `lits` must contain every
+  /// literal passed in earlier calls (append-only growth).
+  void assertAtMost(ClauseSink& sink, const std::vector<Lit>& lits, int k);
+
+  /// Number of constraints asserted so far.
+  [[nodiscard]] int numAsserted() const { return num_asserted_; }
+
+ private:
+  CardEncoding enc_;
+  bool reuse_;
+  int num_asserted_ = 0;
+  std::vector<Lit> covered_;           // literal set of the cached structure
+  std::vector<Lit> sorter_outputs_;    // valid when enc_ == Sorter
+  std::optional<Totalizer> totalizer_; // valid when enc_ == Totalizer
+};
+
+/// Produces *assumption* literals enforcing `sum(lits) <= k` when
+/// assumed — the machinery behind the binary-search engine, which must
+/// both tighten and loosen bounds. The literal set is fixed at
+/// construction.
+class AssumableAtMost {
+ public:
+  AssumableAtMost(ClauseSink& sink, std::vector<Lit> lits, CardEncoding enc);
+
+  /// Literal that enforces `sum <= k` when assumed; `nullopt` when the
+  /// bound is trivial (k >= |lits|).
+  [[nodiscard]] std::optional<Lit> boundLit(int k);
+
+ private:
+  ClauseSink* sink_;
+  std::vector<Lit> lits_;
+  CardEncoding enc_;
+  std::vector<Lit> sorter_outputs_;      // Sorter/Totalizer: shared outputs
+  std::vector<std::optional<Lit>> cache_;  // Bdd/Sequential: per-k activator
+};
+
+}  // namespace msu

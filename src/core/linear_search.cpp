@@ -1,0 +1,80 @@
+#include "core/linear_search.h"
+
+#include "core/incremental_atmost.h"
+#include "core/soft_tracker.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+LinearSearchSolver::LinearSearchSolver(MaxSatOptions options)
+    : opts_(options) {}
+
+std::string LinearSearchSolver::name() const {
+  return std::string("linear-") + toString(opts_.encoding);
+}
+
+MaxSatResult LinearSearchSolver::solve(const WcnfFormula& input) {
+  MaxSatResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;
+  const WcnfFormula& formula = *reduced;
+  const Weight m = formula.numSoft();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SoftTracker tracker(sat, formula);
+  SolverSink sink(sat);
+  IncrementalAtMost card(opts_.encoding, opts_.reuseEncodings);
+
+  // The PBO formulation: every clause gets its blocking variable at once.
+  for (int i = 0; i < tracker.numSoft(); ++i) tracker.relax(i);
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight upper = m + 1;
+  Assignment bestModel;
+
+  auto finish = [&](MaxSatStatus st) {
+    result.status = st;
+    result.lowerBound = (st == MaxSatStatus::Optimum) ? upper : 0;
+    result.upperBound = std::min(upper, m);
+    if (st == MaxSatStatus::Optimum) {
+      result.cost = upper;
+      result.model = std::move(bestModel);
+    } else if (upper <= m) {
+      result.model = std::move(bestModel);
+    }
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  const std::vector<Lit> blocking = tracker.blockingLits();
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    const lbool st = sat.solve();
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
+
+    if (st == lbool::False) {
+      if (upper > m) return finish(MaxSatStatus::UnsatisfiableHard);
+      return finish(MaxSatStatus::Optimum);
+    }
+
+    const Weight nu = opts_.tightenWithModelCost
+                          ? tracker.relaxedFalsifiedCost(formula, sat.model())
+                          : tracker.blockingAssignedTrue(sat.model());
+    if (nu < upper) {
+      upper = nu;
+      bestModel = tracker.originalModel(sat.model());
+      if (opts_.onBounds) opts_.onBounds(0, upper);
+    }
+    if (upper == 0) return finish(MaxSatStatus::Optimum);
+    card.assertAtMost(sink, blocking, static_cast<int>(upper) - 1);
+  }
+}
+
+}  // namespace msu

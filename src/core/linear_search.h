@@ -1,0 +1,28 @@
+/// \file linear_search.h
+/// \brief SAT–UNSAT linear search: relax every soft clause with a
+///        blocking variable up front (the paper's PBO formulation of
+///        MaxSAT, §2.2) and repeatedly ask for a model using strictly
+///        fewer blocking variables until none exists. This is the search
+///        organisation of minisat+ on the MaxSAT cost function, here
+///        instantiated with cardinality encodings.
+
+#pragma once
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// Model-improving linear search from above.
+class LinearSearchSolver final : public MaxSatSolver {
+ public:
+  explicit LinearSearchSolver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+};
+
+}  // namespace msu

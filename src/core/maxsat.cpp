@@ -1,0 +1,17 @@
+#include "core/maxsat.h"
+
+namespace msu {
+
+const char* toString(MaxSatStatus st) {
+  switch (st) {
+    case MaxSatStatus::Optimum:
+      return "OPTIMUM";
+    case MaxSatStatus::UnsatisfiableHard:
+      return "UNSATISFIABLE";
+    case MaxSatStatus::Unknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace msu

@@ -1,0 +1,121 @@
+#include "core/msu1.h"
+
+#include <unordered_map>
+
+#include "encodings/cardinality.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+Msu1Solver::Msu1Solver(MaxSatOptions options) : opts_(options) {}
+
+std::string Msu1Solver::name() const { return "msu1"; }
+
+MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
+  MaxSatResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;
+  const WcnfFormula& formula = *reduced;
+  const Weight m = formula.numSoft();
+  const int numOriginalVars = formula.numVars();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SolverSink sink(sat);
+  while (sat.numVars() < numOriginalVars) static_cast<void>(sat.newVar());
+  for (const Clause& h : formula.hard()) static_cast<void>(sat.addClause(h));
+
+  // Per soft clause: its current literal set (original literals plus the
+  // blocking variables accumulated over relaxations) and its current
+  // selector. Retiring a version = unit-asserting its selector.
+  std::vector<Clause> lits(static_cast<std::size_t>(m));
+  std::vector<Lit> selector(static_cast<std::size_t>(m));
+  std::unordered_map<Var, int> selectorToSoft;
+
+  auto installVersion = [&](int i) {
+    const Var a = sat.newVar();
+    selector[static_cast<std::size_t>(i)] = posLit(a);
+    selectorToSoft[a] = i;
+    Clause c = lits[static_cast<std::size_t>(i)];
+    c.push_back(posLit(a));
+    static_cast<void>(sat.addClause(c));
+  };
+
+  for (int i = 0; i < m; ++i) {
+    lits[static_cast<std::size_t>(i)] =
+        formula.soft()[static_cast<std::size_t>(i)].lits;
+    installVersion(i);
+  }
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight cost = 0;  // one per relaxed core
+
+  auto finish = [&](MaxSatStatus st, Assignment model) {
+    result.status = st;
+    result.lowerBound = cost;
+    result.upperBound = (st == MaxSatStatus::Optimum) ? cost : m;
+    result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
+    result.model = std::move(model);
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    std::vector<Lit> assumps;
+    assumps.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      assumps.push_back(~selector[static_cast<std::size_t>(i)]);
+    }
+
+    const lbool st = sat.solve(assumps);
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, {});
+
+    if (st == lbool::True) {
+      Assignment model(static_cast<std::size_t>(numOriginalVars));
+      for (Var v = 0; v < numOriginalVars; ++v) {
+        const lbool val = sat.model()[static_cast<std::size_t>(v)];
+        model[static_cast<std::size_t>(v)] =
+            (val == lbool::Undef) ? lbool::False : val;
+      }
+      return finish(MaxSatStatus::Optimum, std::move(model));
+    }
+
+    ++result.coresFound;
+    // Map the failed assumptions back to soft indices.
+    std::vector<int> coreSoft;
+    for (Lit p : sat.core()) {
+      if (auto it = selectorToSoft.find(p.var()); it != selectorToSoft.end()) {
+        coreSoft.push_back(it->second);
+      }
+    }
+    if (coreSoft.empty()) {
+      return finish(MaxSatStatus::UnsatisfiableHard, {});
+    }
+
+    // Fu-Malik relaxation: fresh blocking variable per core clause,
+    // exactly one of them true.
+    std::vector<Lit> freshBlocking;
+    freshBlocking.reserve(coreSoft.size());
+    for (int i : coreSoft) {
+      const Lit oldSel = selector[static_cast<std::size_t>(i)];
+      selectorToSoft.erase(oldSel.var());
+      static_cast<void>(sat.addClause({oldSel}));  // retire the old version
+      const Lit b = posLit(sat.newVar());
+      lits[static_cast<std::size_t>(i)].push_back(b);
+      freshBlocking.push_back(b);
+      installVersion(i);
+    }
+    encodeExactlyOne(sink, freshBlocking);
+    cost += 1;
+    if (opts_.onBounds) opts_.onBounds(cost, m + 1);
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,29 @@
+/// \file msu1.h
+/// \brief The msu1 algorithm — Fu & Malik's original core-guided MaxSAT
+///        procedure (SAT 2006), the algorithm the paper contrasts msu4
+///        against: every unsatisfiable core gets a *fresh* set of
+///        blocking variables (so a clause may accumulate several), tied
+///        together by an exactly-one constraint, and the optimum equals
+///        the number of cores relaxed before the formula turns
+///        satisfiable.
+
+#pragma once
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// The msu1 / Fu–Malik engine.
+class Msu1Solver final : public MaxSatSolver {
+ public:
+  explicit Msu1Solver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+};
+
+}  // namespace msu

@@ -1,0 +1,144 @@
+#include "core/msu3.h"
+
+#include <algorithm>
+
+#include "core/soft_tracker.h"
+#include "encodings/sink.h"
+#include "encodings/totalizer.h"
+
+namespace msu {
+
+Msu3Solver::Msu3Solver(MaxSatOptions options) : opts_(options) {}
+
+std::string Msu3Solver::name() const {
+  return std::string("msu3-") + toString(opts_.encoding);
+}
+
+MaxSatResult Msu3Solver::solve(const WcnfFormula& input) {
+  MaxSatResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;
+  const WcnfFormula& formula = *reduced;
+  const Weight m = formula.numSoft();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SoftTracker tracker(sat, formula);
+  SolverSink sink(sat);
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight lambda = 0;  // proven: cost >= lambda
+
+  // Incremental bound structure over the blocking variables. Totalizer
+  // extends in place; other encodings are re-emitted per (set, bound)
+  // change, with stale constraints retired through their activator.
+  std::optional<Totalizer> totalizer;
+  std::vector<Lit> covered;       // blocking set covered by the structure
+  std::vector<Lit> sorterOut;     // Sorter outputs over `covered`
+  std::optional<Lit> activator;   // Bdd/Sequential guarded instance
+  Weight activeBound = -1;
+
+  auto boundAssumption = [&]() -> std::optional<Lit> {
+    const std::vector<Lit> blocking = tracker.blockingLits();
+    if (lambda >= static_cast<Weight>(blocking.size())) return std::nullopt;
+    const int k = static_cast<int>(lambda);
+    switch (opts_.encoding) {
+      case CardEncoding::Totalizer: {
+        const bool prefixOk =
+            blocking.size() >= covered.size() &&
+            std::equal(covered.begin(), covered.end(), blocking.begin());
+        if (!totalizer || !prefixOk) {
+          totalizer.emplace(sink, blocking);
+          covered = blocking;
+        } else if (blocking.size() > covered.size()) {
+          totalizer->addInputs(std::span<const Lit>(
+              blocking.data() + covered.size(),
+              blocking.size() - covered.size()));
+          covered = blocking;
+        }
+        return ~totalizer->outputs()[static_cast<std::size_t>(k)];
+      }
+      case CardEncoding::Sorter: {
+        if (blocking != covered) {
+          sorterOut = buildSortingNetwork(sink, blocking);
+          covered = blocking;
+        }
+        return ~sorterOut[static_cast<std::size_t>(k)];
+      }
+      default: {
+        if (blocking != covered || activeBound != lambda) {
+          if (activator) {
+            // Retire the previous guarded instance permanently.
+            sink.addClause({~*activator});
+          }
+          const Lit act = posLit(sink.newVar());
+          encodeAtMost(sink, blocking, k, opts_.encoding, act);
+          activator = act;
+          covered = blocking;
+          activeBound = lambda;
+        }
+        return *activator;
+      }
+    }
+  };
+
+  auto finish = [&](MaxSatStatus st, Weight cost, Assignment model) {
+    result.status = st;
+    result.lowerBound = lambda;
+    result.upperBound = (st == MaxSatStatus::Optimum) ? cost : m;
+    result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
+    result.model = std::move(model);
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    std::vector<Lit> assumps = tracker.assumptions();
+    if (std::optional<Lit> b = boundAssumption()) assumps.push_back(*b);
+
+    const lbool st = sat.solve(assumps);
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, 0, {});
+
+    if (st == lbool::True) {
+      // Model cost can only be lambda: >= lambda is proven, <= lambda is
+      // enforced by the bound assumption.
+      const Weight cost = tracker.relaxedFalsifiedCost(formula, sat.model());
+      return finish(MaxSatStatus::Optimum, cost,
+                    tracker.originalModel(sat.model()));
+    }
+
+    ++result.coresFound;
+    const std::vector<Lit>& core = sat.core();
+    if (core.empty()) {
+      return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
+    }
+    std::vector<int> coreSoft = tracker.coreSoftIndices(core);
+    // The bound literal can alias a selector variable (a 1-input sorter /
+    // totalizer returns its input), so the core may name already-relaxed
+    // clauses; only still-enforced ones warrant relaxation.
+    std::erase_if(coreSoft, [&](int i) { return tracker.isRelaxed(i); });
+    if (!coreSoft.empty()) {
+      // The core names soft clauses that are still hard-enforced: relax
+      // them and retry at the same bound. (Incrementing lambda here
+      // would be unsound: a cost-lambda assignment may falsify exactly
+      // such a not-yet-relaxed clause, which the assumptions exclude
+      // rather than count.)
+      for (int i : coreSoft) tracker.relax(i);
+      continue;
+    }
+    // The core lies entirely within hards + relaxed clauses + the bound:
+    // every assignment falsifies more than lambda relaxed clauses, so
+    // the optimum exceeds lambda.
+    lambda += 1;
+    if (opts_.onBounds) opts_.onBounds(lambda, m + 1);
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,32 @@
+/// \file msu3.h
+/// \brief The msu3 algorithm (Marques-Silva & Planes, CoRR abs/0712.0097,
+///        referenced by the DATE'08 paper as [22]): core-guided *lower
+///        bound* search. A single cardinality constraint over the union
+///        of all relaxed clauses is tightened to `<= lambda`, and lambda
+///        grows by one per unsatisfiable outcome until the formula turns
+///        satisfiable — at which point lambda is the optimum cost.
+///
+/// Our implementation keeps the constraint incremental: a totalizer (or
+/// sorting network) over the blocking variables whose bound is enforced
+/// by assumption, so nothing is ever retracted.
+
+#pragma once
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// The msu3 engine (unsat-based linear search from below).
+class Msu3Solver final : public MaxSatSolver {
+ public:
+  explicit Msu3Solver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+};
+
+}  // namespace msu

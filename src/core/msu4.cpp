@@ -1,0 +1,138 @@
+#include "core/msu4.h"
+
+#include <string>
+
+#include "core/core_trim.h"
+#include "core/incremental_atmost.h"
+#include "core/soft_tracker.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+Msu4Solver::Msu4Solver(MaxSatOptions options) : opts_(options) {}
+
+Msu4Solver Msu4Solver::v1(MaxSatOptions options) {
+  options.encoding = CardEncoding::Bdd;
+  return Msu4Solver(options);
+}
+
+Msu4Solver Msu4Solver::v2(MaxSatOptions options) {
+  options.encoding = CardEncoding::Sorter;
+  return Msu4Solver(options);
+}
+
+std::string Msu4Solver::name() const {
+  switch (opts_.encoding) {
+    case CardEncoding::Bdd:
+      return "msu4-v1";
+    case CardEncoding::Sorter:
+      return "msu4-v2";
+    default:
+      return std::string("msu4-") + toString(opts_.encoding);
+  }
+}
+
+MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
+  MaxSatResult result;
+  const std::optional<WcnfFormula> reduced = input.unweighted();
+  if (!reduced) return result;  // weights too large to duplicate: Unknown
+  const WcnfFormula& formula = *reduced;
+  const Weight m = formula.numSoft();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SoftTracker tracker(sat, formula);
+  SolverSink sink(sat);
+  IncrementalAtMost card(opts_.encoding, opts_.reuseEncodings);
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight lower = 0;       // proven: cost >= lower   (paper: |phi| - U)
+  Weight upper = m + 1;   // best model cost; m+1 = "no model yet"
+  Assignment bestModel;
+
+  auto notifyBounds = [&] {
+    if (opts_.onBounds) opts_.onBounds(lower, upper);
+  };
+
+  auto finish = [&](MaxSatStatus st) {
+    result.status = st;
+    result.lowerBound = lower;
+    result.upperBound = std::min(upper, m);
+    if (st == MaxSatStatus::Optimum) {
+      result.cost = upper;
+      result.model = std::move(bestModel);
+    } else if (upper <= m) {
+      result.model = std::move(bestModel);
+    }
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    const std::vector<Lit> assumps = tracker.assumptions();
+    const lbool st = sat.solve(assumps);
+
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
+
+    if (st == lbool::True) {
+      // SAT: refine the upper bound (Algorithm 1, lines 26-31).
+      const Weight nu =
+          opts_.tightenWithModelCost
+              ? tracker.relaxedFalsifiedCost(formula, sat.model())
+              : tracker.blockingAssignedTrue(sat.model());
+      if (nu < upper) {
+        upper = nu;
+        bestModel = tracker.originalModel(sat.model());
+        notifyBounds();
+      }
+      if (lower >= upper) return finish(MaxSatStatus::Optimum);
+      // Require strictly fewer blocking variables next time.
+      card.assertAtMost(sink, tracker.blockingLits(),
+                        static_cast<int>(upper) - 1);
+      continue;
+    }
+
+    // UNSAT: analyse the core (Algorithm 1, lines 12-24).
+    ++result.coresFound;
+    std::vector<Lit> coreLits = sat.core();
+    if (opts_.trimCoreRounds > 0 && coreLits.size() > 1) {
+      CoreTrimOptions trimOpts;
+      trimOpts.trimRounds = opts_.trimCoreRounds;
+      coreLits = trimCore(sat, std::move(coreLits), trimOpts);
+      result.satCalls += opts_.trimCoreRounds;
+    }
+    const std::vector<int> coreSoft = tracker.coreSoftIndices(coreLits);
+    if (coreSoft.empty()) {
+      // No initial clause without a blocking variable in the core.
+      if (upper > m) {
+        // Never saw a model and no cardinality constraint is active:
+        // the hard clauses themselves are unsatisfiable.
+        return finish(MaxSatStatus::UnsatisfiableHard);
+      }
+      return finish(MaxSatStatus::Optimum);
+    }
+    std::vector<Lit> freshBlocking;
+    freshBlocking.reserve(coreSoft.size());
+    for (int i : coreSoft) {
+      tracker.relax(i);
+      freshBlocking.push_back(tracker.selector(i));
+    }
+    if (opts_.msu4AtLeastOne) {
+      // Optional line 19: at least one of the new blocking variables must
+      // be used (prevents re-deriving the same core).
+      static_cast<void>(sat.addClause(freshBlocking));
+    }
+    lower += 1;  // U++ : every assignment falsifies one more clause
+    notifyBounds();
+    if (lower >= upper && upper <= m) return finish(MaxSatStatus::Optimum);
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,150 @@
+#include "core/oll.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "core/core_trim.h"
+#include "encodings/sink.h"
+#include "encodings/totalizer.h"
+
+namespace msu {
+
+OllSolver::OllSolver(MaxSatOptions options) : opts_(options) {}
+
+std::string OllSolver::name() const { return "oll"; }
+
+MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
+  MaxSatResult result;
+  const Weight total = formula.totalSoftWeight();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SolverSink sink(sat);
+  for (Var v = 0; v < formula.numVars(); ++v) static_cast<void>(sat.newVar());
+  for (const Clause& c : formula.hard()) static_cast<void>(sat.addClause(c));
+
+  // Active soft items, keyed by assumption literal: assuming the literal
+  // claims "no (further) cost here"; its weight is what a violation
+  // still costs beyond the charged lower bound.
+  std::map<Lit, Weight> active;
+
+  // Soft-clause selectors: (C_i ∨ s_i), assumption ¬s_i.
+  for (const SoftClause& sc : formula.soft()) {
+    const Lit sel = posLit(sat.newVar());
+    Clause withSel = sc.lits;
+    withSel.push_back(sel);
+    static_cast<void>(sat.addClause(withSel));
+    active[~sel] += sc.weight;
+  }
+
+  // Soft cardinality constraints: assumption literal -> (totalizer id,
+  // bound b), meaning "at most b of the underlying core violated".
+  struct SumRef {
+    int totalizer = -1;
+    int bound = 0;
+  };
+  std::vector<std::unique_ptr<Totalizer>> totalizers;
+  std::map<Lit, SumRef> sums;
+
+  Weight lower = 0;
+
+  auto notifyBounds = [&] {
+    if (opts_.onBounds) opts_.onBounds(lower, total + 1);
+  };
+
+  auto finish = [&](MaxSatStatus st, Weight cost, Assignment model) {
+    result.status = st;
+    result.lowerBound = lower;
+    result.upperBound = (st == MaxSatStatus::Optimum) ? cost : total;
+    result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
+    result.model = std::move(model);
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  if (!sat.okay()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    std::vector<Lit> assumptions;
+    assumptions.reserve(active.size());
+    for (const auto& [lit, w] : active) assumptions.push_back(lit);
+
+    const lbool st = sat.solve(assumptions);
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, 0, {});
+
+    if (st == lbool::True) {
+      // All residual softs satisfied: the model's cost equals the
+      // charged lower bound, which is the optimum.
+      Assignment model(static_cast<std::size_t>(formula.numVars()));
+      for (Var v = 0; v < formula.numVars(); ++v) {
+        model[static_cast<std::size_t>(v)] =
+            sat.model()[static_cast<std::size_t>(v)];
+      }
+      const std::optional<Weight> cost = formula.cost(model);
+      assert(cost.has_value());
+      return finish(MaxSatStatus::Optimum, cost.value_or(lower),
+                    std::move(model));
+    }
+
+    // UNSAT: process the core.
+    ++result.coresFound;
+    std::vector<Lit> core = sat.core();
+    if (core.empty()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
+    if (opts_.trimCoreRounds > 0 && core.size() > 1) {
+      CoreTrimOptions trimOpts;
+      trimOpts.trimRounds = opts_.trimCoreRounds;
+      core = trimCore(sat, std::move(core), trimOpts);
+      result.satCalls += opts_.trimCoreRounds;
+    }
+
+    Weight wmin = 0;
+    for (const Lit a : core) {
+      const auto it = active.find(a);
+      assert(it != active.end());
+      wmin = (wmin == 0) ? it->second : std::min(wmin, it->second);
+    }
+    lower += wmin;
+    notifyBounds();
+
+    // Charge every member; deactivate the fully paid ones. For soft
+    // cardinality members, lazily extend the bound: everything a
+    // violation beyond `bound+1` costs is carried by the successor
+    // assumption (weight accumulates if it is already active).
+    for (const Lit a : core) {
+      auto it = active.find(a);
+      it->second -= wmin;
+      if (it->second == 0) active.erase(it);
+
+      const auto sumIt = sums.find(a);
+      if (sumIt == sums.end()) continue;
+      const SumRef ref = sumIt->second;
+      Totalizer& tot = *totalizers[static_cast<std::size_t>(ref.totalizer)];
+      const int nextBound = ref.bound + 1;
+      if (nextBound >= tot.numInputs()) continue;  // "<= k" is vacuous
+      const Lit next = ~tot.outputs()[static_cast<std::size_t>(nextBound)];
+      active[next] += wmin;
+      sums.emplace(next, SumRef{ref.totalizer, nextBound});
+    }
+
+    // New soft cardinality constraint over this core: "at most one of
+    // these violated" at weight wmin (a singleton core has nothing to
+    // count — its violation is fully charged already).
+    if (core.size() >= 2) {
+      std::vector<Lit> violated;
+      violated.reserve(core.size());
+      for (const Lit a : core) violated.push_back(~a);
+      totalizers.push_back(std::make_unique<Totalizer>(
+          sink, violated, /*bothPolarities=*/false));
+      Totalizer& tot = *totalizers.back();
+      const Lit slit = ~tot.outputs()[1];
+      active[slit] += wmin;
+      sums.emplace(slit, SumRef{static_cast<int>(totalizers.size()) - 1, 1});
+    }
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,40 @@
+/// \file oll.h
+/// \brief OLL: core-guided MaxSAT with *soft cardinality constraints*
+///        (Morgado, Dodaro & Marques-Silva; the engine behind RC2),
+///        implemented natively for weighted instances.
+///
+/// This is the modern descendant of the msu family the DATE'08 paper
+/// opens (§5 calls for the interplay of core-guided algorithms to be
+/// "further developed"): like msu4 it learns from unsatisfiable cores,
+/// but instead of bounding *all* blocking variables with one cardinality
+/// constraint it attaches an individually-weighted, lazily-tightened
+/// totalizer to every core:
+///  * every UNSAT core K with minimum member weight m raises the lower
+///    bound by m, charges m to each member, and introduces the soft
+///    constraint "at most 1 of K violated" with weight m;
+///  * when such a constraint itself appears in a core, its bound is
+///    extended ("at most 2", ...) lazily, reusing the same totalizer
+///    (incremental input reuse, as in msu3/msu4's reuseEncodings);
+///  * the first satisfiable outcome is the optimum — OLL never needs an
+///    upper-bound search phase.
+
+#pragma once
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// The OLL / soft-cardinality-constraints engine (weighted-native).
+class OllSolver final : public MaxSatSolver {
+ public:
+  explicit OllSolver(MaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+};
+
+}  // namespace msu

@@ -1,0 +1,98 @@
+#include "core/preprocess.h"
+
+#include <map>
+
+#include "sat/solver.h"
+
+namespace msu {
+
+PreprocessResult preprocessWcnf(const WcnfFormula& formula) {
+  PreprocessResult result;
+  result.forced.assign(static_cast<std::size_t>(formula.numVars()),
+                       lbool::Undef);
+
+  // Unit-propagate the hard clauses at level 0.
+  Solver up;
+  while (up.numVars() < formula.numVars()) static_cast<void>(up.newVar());
+  bool hardRefuted = false;
+  for (const Clause& h : formula.hard()) {
+    if (!up.addClause(h)) {
+      hardRefuted = true;
+      break;
+    }
+  }
+  if (hardRefuted) return result;  // simplified unset
+
+  for (Var v = 0; v < formula.numVars(); ++v) {
+    const lbool val = up.value(v);
+    if (val != lbool::Undef) {
+      result.forced[static_cast<std::size_t>(v)] = val;
+      ++result.fixedVars;
+    }
+  }
+
+  auto litValue = [&](Lit p) {
+    return applySign(result.forced[static_cast<std::size_t>(p.var())], p);
+  };
+
+  /// Applies the forced values to a clause. Returns nullopt when the
+  /// clause is satisfied; otherwise the reduced, normalized literal set
+  /// (empty = falsified).
+  auto reduce = [&](const Clause& c) -> std::optional<Clause> {
+    Clause out;
+    for (Lit p : c) {
+      const lbool v = litValue(p);
+      if (v == lbool::True) return std::nullopt;
+      if (v == lbool::Undef) out.push_back(p);
+    }
+    if (isTautology(out)) return std::nullopt;
+    return normalizedClause(out);
+  };
+
+  WcnfFormula simplified(formula.numVars());
+
+  // Hard clauses: reduce and de-duplicate.
+  std::map<Clause, bool> seenHard;
+  for (const Clause& h : formula.hard()) {
+    const std::optional<Clause> r = reduce(h);
+    if (!r) {
+      ++result.removedHard;
+      continue;
+    }
+    // A falsified hard clause would have refuted UP above.
+    if (!seenHard.emplace(*r, true).second) {
+      ++result.removedHard;
+      continue;
+    }
+    simplified.addHard(*r);
+  }
+
+  // Soft clauses: reduce, charge falsified ones, merge duplicates.
+  std::map<Clause, std::size_t> softIndex;
+  std::vector<SoftClause> softOut;
+  for (const SoftClause& s : formula.soft()) {
+    const std::optional<Clause> r = reduce(s.lits);
+    if (!r) {
+      ++result.removedSoft;
+      continue;
+    }
+    if (r->empty()) {
+      result.forcedCost += s.weight;
+      ++result.removedSoft;
+      continue;
+    }
+    if (auto it = softIndex.find(*r); it != softIndex.end()) {
+      softOut[it->second].weight += s.weight;
+      ++result.mergedSoft;
+      continue;
+    }
+    softIndex.emplace(*r, softOut.size());
+    softOut.push_back(SoftClause{*r, s.weight});
+  }
+  for (const SoftClause& s : softOut) simplified.addSoft(s.lits, s.weight);
+
+  result.simplified = std::move(simplified);
+  return result;
+}
+
+}  // namespace msu

@@ -1,0 +1,51 @@
+/// \file preprocess.h
+/// \brief MaxSAT-safe preprocessing of WCNF instances. Only
+///        transformations sound for *both* hard and soft clauses are
+///        applied (classic SAT preprocessing like pure-literal deletion
+///        is unsound on soft clauses):
+///        * unit propagation over the hard clauses, applied to all
+///          clauses (satisfied clauses drop, falsified softs pay their
+///          weight up front, literals fixed false vanish);
+///        * tautology removal (hard and soft);
+///        * duplicate-soft merging (weights add up);
+///        * duplicate-hard removal.
+///        The variable space is preserved so models transfer directly;
+///        fixed variables are reported for model completion.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cnf/wcnf.h"
+
+namespace msu {
+
+/// Result of preprocessing.
+struct PreprocessResult {
+  /// The simplified instance (same variable numbering), or unset when
+  /// the hard clauses were refuted by unit propagation alone.
+  std::optional<WcnfFormula> simplified;
+
+  /// Cost already incurred: total weight of soft clauses falsified by
+  /// the hard-forced assignments. Add to any optimum of `simplified`.
+  Weight forcedCost = 0;
+
+  /// Hard-forced variable values (Undef where free). Apply on top of any
+  /// model of `simplified` to obtain a model of the original instance.
+  Assignment forced;
+
+  /// Statistics.
+  int fixedVars = 0;
+  int removedHard = 0;
+  int removedSoft = 0;
+  int mergedSoft = 0;
+};
+
+/// Preprocesses the instance. Sound for partial weighted MaxSAT:
+/// opt(original) == forcedCost + opt(simplified), and any model of the
+/// simplified instance extended with `forced` is a model of the
+/// original with that cost.
+[[nodiscard]] PreprocessResult preprocessWcnf(const WcnfFormula& formula);
+
+}  // namespace msu

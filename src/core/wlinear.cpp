@@ -1,0 +1,100 @@
+#include "core/wlinear.h"
+
+#include <cassert>
+
+#include "encodings/cardinality.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+WeightedLinearSolver::WeightedLinearSolver(MaxSatOptions options,
+                                           PbEncoding pbEncoding)
+    : opts_(options), pb_(pbEncoding) {}
+
+std::string WeightedLinearSolver::name() const {
+  return std::string("wlinear-") + toString(pb_);
+}
+
+MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
+  MaxSatResult result;
+  const Weight total = formula.totalSoftWeight();
+  const bool unweighted = formula.isUnweighted();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SolverSink sink(sat);
+  for (Var v = 0; v < formula.numVars(); ++v) static_cast<void>(sat.newVar());
+  for (const Clause& c : formula.hard()) static_cast<void>(sat.addClause(c));
+
+  // Blocking variable per soft clause (the paper's PBO formulation).
+  std::vector<PbTerm> terms;
+  terms.reserve(static_cast<std::size_t>(formula.numSoft()));
+  for (const SoftClause& sc : formula.soft()) {
+    const Lit b = posLit(sat.newVar());
+    Clause withB = sc.lits;
+    withB.push_back(b);
+    static_cast<void>(sat.addClause(withB));
+    terms.push_back({b, sc.weight});
+  }
+
+  Weight lower = 0;
+  Weight upper = total + 1;  // no model yet
+  Assignment best;
+
+  auto notifyBounds = [&] {
+    if (opts_.onBounds) opts_.onBounds(lower, upper);
+  };
+
+  auto finish = [&](MaxSatStatus st) {
+    result.status = st;
+    result.lowerBound = (st == MaxSatStatus::Optimum) ? upper : lower;
+    result.upperBound = std::min(upper, total);
+    if (st == MaxSatStatus::Optimum) {
+      result.cost = upper;
+      result.model = std::move(best);
+    } else if (upper <= total) {
+      result.model = std::move(best);
+    }
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    const lbool st = sat.solve();
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
+    if (st == lbool::False) {
+      // No model beats the bound: either the hards alone are
+      // unsatisfiable (no model ever) or the last model is optimal.
+      if (upper > total) return finish(MaxSatStatus::UnsatisfiableHard);
+      return finish(MaxSatStatus::Optimum);
+    }
+
+    Assignment model(static_cast<std::size_t>(formula.numVars()));
+    for (Var v = 0; v < formula.numVars(); ++v) {
+      model[static_cast<std::size_t>(v)] =
+          sat.model()[static_cast<std::size_t>(v)];
+    }
+    const std::optional<Weight> cost = formula.cost(model);
+    assert(cost.has_value());
+    upper = std::min(upper, *cost);
+    best = std::move(model);
+    notifyBounds();
+    if (upper == 0) return finish(MaxSatStatus::Optimum);
+
+    // Demand a strictly better model. A falsified soft clause forces its
+    // blocking variable, so any model of the constrained formula has
+    // true cost <= upper - 1.
+    if (unweighted) {
+      std::vector<Lit> lits;
+      lits.reserve(terms.size());
+      for (const PbTerm& t : terms) lits.push_back(t.lit);
+      encodeAtMost(sink, lits, static_cast<int>(upper) - 1, opts_.encoding);
+    } else {
+      encodePbLeq(sink, terms, upper - 1, pb_);
+    }
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,37 @@
+/// \file wlinear.h
+/// \brief Weighted SAT–UNSAT linear search: the paper's PBO formulation
+///        of MaxSAT (§2.2) with a genuinely weighted cost function,
+///        solved by model-improving iteration. Every soft clause gets a
+///        blocking variable; each model's true cost W tightens a
+///        pseudo-Boolean constraint `sum(w_i * b_i) <= W - 1` until
+///        unsatisfiability proves the last model optimal.
+///
+/// This is the weighted counterpart of LinearSearchSolver (which handles
+/// unit weights with cardinality encodings); unweighted inputs are
+/// automatically routed through the cheaper cardinality path.
+
+#pragma once
+
+#include "core/maxsat.h"
+#include "encodings/pb.h"
+
+namespace msu {
+
+/// Weighted model-improving linear search from above.
+class WeightedLinearSolver final : public MaxSatSolver {
+ public:
+  /// `pbEncoding` selects the translation of the weighted cost
+  /// constraint (unweighted instances use `options.encoding` instead).
+  explicit WeightedLinearSolver(MaxSatOptions options = {},
+                                PbEncoding pbEncoding = PbEncoding::Bdd);
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+ private:
+  MaxSatOptions opts_;
+  PbEncoding pb_;
+};
+
+}  // namespace msu

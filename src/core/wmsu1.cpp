@@ -1,0 +1,141 @@
+#include "core/wmsu1.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "encodings/cardinality.h"
+#include "encodings/sink.h"
+
+namespace msu {
+namespace {
+
+/// One active soft item: a clause version in the solver with its weight.
+struct SoftItem {
+  Clause lits;     ///< original literals plus accumulated blocking vars
+  Weight weight;   ///< remaining weight carried by this version
+  Lit selector;    ///< current selector (assume ~selector to enforce)
+};
+
+}  // namespace
+
+Wmsu1Solver::Wmsu1Solver(MaxSatOptions options) : opts_(options) {}
+
+std::string Wmsu1Solver::name() const { return "wmsu1"; }
+
+MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
+  MaxSatResult result;
+  const int numOriginalVars = formula.numVars();
+  const Weight totalSoft = formula.totalSoftWeight();
+
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SolverSink sink(sat);
+  while (sat.numVars() < numOriginalVars) static_cast<void>(sat.newVar());
+  for (const Clause& h : formula.hard()) static_cast<void>(sat.addClause(h));
+
+  std::vector<SoftItem> items;
+  std::unordered_map<Var, int> selectorToItem;
+
+  auto install = [&](Clause lits, Weight weight) {
+    const Var a = sat.newVar();
+    SoftItem item{std::move(lits), weight, posLit(a)};
+    Clause augmented = item.lits;
+    augmented.push_back(item.selector);
+    static_cast<void>(sat.addClause(augmented));
+    selectorToItem[a] = static_cast<int>(items.size());
+    items.push_back(std::move(item));
+  };
+
+  for (const SoftClause& s : formula.soft()) install(s.lits, s.weight);
+
+  if (!sat.okay()) {
+    result.status = MaxSatStatus::UnsatisfiableHard;
+    result.satStats = sat.stats();
+    return result;
+  }
+
+  Weight cost = 0;
+
+  auto finish = [&](MaxSatStatus st, Assignment model) {
+    result.status = st;
+    result.lowerBound = cost;
+    result.upperBound = (st == MaxSatStatus::Optimum) ? cost : totalSoft;
+    result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
+    result.model = std::move(model);
+    result.satStats = sat.stats();
+    return result;
+  };
+
+  while (true) {
+    ++result.iterations;
+    ++result.satCalls;
+    std::vector<Lit> assumps;
+    assumps.reserve(items.size());
+    for (const SoftItem& item : items) {
+      if (item.weight > 0) assumps.push_back(~item.selector);
+    }
+
+    const lbool st = sat.solve(assumps);
+    if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, {});
+
+    if (st == lbool::True) {
+      Assignment model(static_cast<std::size_t>(numOriginalVars));
+      for (Var v = 0; v < numOriginalVars; ++v) {
+        const lbool val = sat.model()[static_cast<std::size_t>(v)];
+        model[static_cast<std::size_t>(v)] =
+            (val == lbool::Undef) ? lbool::False : val;
+      }
+      return finish(MaxSatStatus::Optimum, std::move(model));
+    }
+
+    ++result.coresFound;
+    std::vector<int> coreItems;
+    for (Lit p : sat.core()) {
+      if (auto it = selectorToItem.find(p.var());
+          it != selectorToItem.end()) {
+        coreItems.push_back(it->second);
+      }
+    }
+    std::sort(coreItems.begin(), coreItems.end());
+    coreItems.erase(std::unique(coreItems.begin(), coreItems.end()),
+                    coreItems.end());
+    if (coreItems.empty()) {
+      return finish(MaxSatStatus::UnsatisfiableHard, {});
+    }
+
+    // Charge the core its minimum weight and split the members.
+    Weight wmin = items[static_cast<std::size_t>(coreItems[0])].weight;
+    for (int idx : coreItems) {
+      wmin = std::min(wmin, items[static_cast<std::size_t>(idx)].weight);
+    }
+
+    std::vector<Lit> freshBlocking;
+    freshBlocking.reserve(coreItems.size());
+    for (int idx : coreItems) {
+      // Copy out before install() — it grows `items` and may reallocate.
+      const Clause lits = items[static_cast<std::size_t>(idx)].lits;
+      const Weight weight = items[static_cast<std::size_t>(idx)].weight;
+      const Lit oldSelector = items[static_cast<std::size_t>(idx)].selector;
+      items[static_cast<std::size_t>(idx)].weight = 0;  // retire
+
+      selectorToItem.erase(oldSelector.var());
+      static_cast<void>(sat.addClause({oldSelector}));
+      const Weight residual = weight - wmin;
+      if (residual > 0) {
+        // Residual copy without a new blocking variable.
+        install(lits, residual);
+      }
+      // Relaxed copy of weight wmin with a fresh blocking variable.
+      const Lit b = posLit(sat.newVar());
+      Clause relaxed = lits;
+      relaxed.push_back(b);
+      freshBlocking.push_back(b);
+      install(std::move(relaxed), wmin);
+    }
+    encodeExactlyOne(sink, freshBlocking);
+    cost += wmin;
+    if (opts_.onBounds) opts_.onBounds(cost, totalSoft + 1);
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,142 @@
+#include "encodings/amo.h"
+
+#include <cassert>
+#include <vector>
+
+#include "encodings/cardinality.h"
+
+namespace msu {
+
+namespace {
+
+/// Emits `lits` as a clause, guarded by the activator when present.
+void addGuarded(ClauseSink& sink, std::vector<Lit> lits,
+                const std::optional<Lit>& act) {
+  if (act) lits.insert(lits.begin(), ~*act);
+  sink.addClause(lits);
+}
+
+/// Number of bits needed to give each of `n` items a distinct code.
+[[nodiscard]] int bitsFor(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+void encodeAtMostOneCommander(ClauseSink& sink, std::span<const Lit> lits,
+                              std::optional<Lit> activator, int groupSize) {
+  assert(groupSize >= 2);
+  if (lits.size() <= 1) return;
+  if (static_cast<int>(lits.size()) <= groupSize + 1) {
+    encodeAtMostOnePairwise(sink, lits, activator);
+    return;
+  }
+  // Split into groups; each group gets pairwise AMO plus a commander
+  // that is true whenever a member is.
+  std::vector<Lit> commanders;
+  std::size_t i = 0;
+  while (i < lits.size()) {
+    const std::size_t end =
+        std::min(lits.size(), i + static_cast<std::size_t>(groupSize));
+    const std::span<const Lit> group = lits.subspan(i, end - i);
+    if (group.size() == 1) {
+      commanders.push_back(group[0]);  // a singleton is its own commander
+    } else {
+      encodeAtMostOnePairwise(sink, group, activator);
+      const Lit c = posLit(sink.newVar());
+      for (const Lit p : group) addGuarded(sink, {~p, c}, activator);
+      commanders.push_back(c);
+    }
+    i = end;
+  }
+  encodeAtMostOneCommander(sink, commanders, activator, groupSize);
+}
+
+void encodeAtMostOneProduct(ClauseSink& sink, std::span<const Lit> lits,
+                            std::optional<Lit> activator) {
+  const int n = static_cast<int>(lits.size());
+  if (n <= 1) return;
+  if (n <= 3) {
+    encodeAtMostOnePairwise(sink, lits, activator);
+    return;
+  }
+  int rows = 1;
+  while (rows * rows < n) ++rows;
+  const int cols = (n + rows - 1) / rows;
+
+  std::vector<Lit> rowVar, colVar;
+  rowVar.reserve(static_cast<std::size_t>(rows));
+  colVar.reserve(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) rowVar.push_back(posLit(sink.newVar()));
+  for (int c = 0; c < cols; ++c) colVar.push_back(posLit(sink.newVar()));
+
+  for (int idx = 0; idx < n; ++idx) {
+    const int r = idx / cols;
+    const int c = idx % cols;
+    addGuarded(sink, {~lits[static_cast<std::size_t>(idx)],
+                      rowVar[static_cast<std::size_t>(r)]},
+               activator);
+    addGuarded(sink, {~lits[static_cast<std::size_t>(idx)],
+                      colVar[static_cast<std::size_t>(c)]},
+               activator);
+  }
+  encodeAtMostOnePairwise(sink, rowVar, activator);
+  encodeAtMostOnePairwise(sink, colVar, activator);
+}
+
+void encodeAtMostOneBinary(ClauseSink& sink, std::span<const Lit> lits,
+                           std::optional<Lit> activator) {
+  const int n = static_cast<int>(lits.size());
+  if (n <= 1) return;
+  const int bits = bitsFor(n);
+  std::vector<Lit> bit;
+  bit.reserve(static_cast<std::size_t>(bits));
+  for (int b = 0; b < bits; ++b) bit.push_back(posLit(sink.newVar()));
+  for (int idx = 0; idx < n; ++idx) {
+    for (int b = 0; b < bits; ++b) {
+      const bool set = ((idx >> b) & 1) != 0;
+      addGuarded(sink,
+                 {~lits[static_cast<std::size_t>(idx)],
+                  set ? bit[static_cast<std::size_t>(b)]
+                      : ~bit[static_cast<std::size_t>(b)]},
+                 activator);
+    }
+  }
+}
+
+void encodeAtMostOneBimander(ClauseSink& sink, std::span<const Lit> lits,
+                             std::optional<Lit> activator, int groupSize) {
+  assert(groupSize >= 1);
+  const int n = static_cast<int>(lits.size());
+  if (n <= 1) return;
+  const int groups = (n + groupSize - 1) / groupSize;
+  if (groups <= 1) {
+    encodeAtMostOnePairwise(sink, lits, activator);
+    return;
+  }
+  const int bits = bitsFor(groups);
+  std::vector<Lit> bit;
+  bit.reserve(static_cast<std::size_t>(bits));
+  for (int b = 0; b < bits; ++b) bit.push_back(posLit(sink.newVar()));
+
+  for (int g = 0; g < groups; ++g) {
+    const std::size_t start = static_cast<std::size_t>(g * groupSize);
+    const std::size_t end =
+        std::min(lits.size(), start + static_cast<std::size_t>(groupSize));
+    const std::span<const Lit> group = lits.subspan(start, end - start);
+    encodeAtMostOnePairwise(sink, group, activator);
+    for (const Lit p : group) {
+      for (int b = 0; b < bits; ++b) {
+        const bool set = ((g >> b) & 1) != 0;
+        addGuarded(sink,
+                   {~p, set ? bit[static_cast<std::size_t>(b)]
+                            : ~bit[static_cast<std::size_t>(b)]},
+                   activator);
+      }
+    }
+  }
+}
+
+}  // namespace msu

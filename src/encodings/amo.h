@@ -1,0 +1,46 @@
+/// \file amo.h
+/// \brief Additional at-most-one encodings beyond the pairwise and
+///        ladder forms in cardinality.h: commander (Klieber & Kwon),
+///        product (Chen), binary (Frisch et al.) and bimander (Hölldobler
+///        & Nguyen). AMO constraints are the k=1 special case msu4's
+///        optional "at least one blocking variable" bookkeeping interacts
+///        with, and the workhorse of the EDA instance generators (one-hot
+///        fault selection in design debugging, hole exclusivity in
+///        pigeonhole, ...).
+
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "cnf/literal.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+/// Commander encoding: recursive groups of `groupSize` (>= 2) literals,
+/// each reporting to a fresh commander variable; O(n) clauses, O(n/g)
+/// auxiliary variables.
+void encodeAtMostOneCommander(ClauseSink& sink, std::span<const Lit> lits,
+                              std::optional<Lit> activator = std::nullopt,
+                              int groupSize = 3);
+
+/// Product encoding: literals placed on a ceil(sqrt(n)) grid with
+/// at-most-one rows and columns; O(n + sqrt(n)^2) clauses,
+/// 2*ceil(sqrt(n)) auxiliary variables.
+void encodeAtMostOneProduct(ClauseSink& sink, std::span<const Lit> lits,
+                            std::optional<Lit> activator = std::nullopt);
+
+/// Binary encoding: each literal implies its index's binary code over
+/// ceil(log2 n) fresh bits; n*ceil(log2 n) clauses.
+void encodeAtMostOneBinary(ClauseSink& sink, std::span<const Lit> lits,
+                           std::optional<Lit> activator = std::nullopt);
+
+/// Bimander encoding: literals split into groups with pairwise AMO
+/// inside each group and binary group codes across groups — a hybrid of
+/// the pairwise and binary forms.
+void encodeAtMostOneBimander(ClauseSink& sink, std::span<const Lit> lits,
+                             std::optional<Lit> activator = std::nullopt,
+                             int groupSize = 2);
+
+}  // namespace msu

@@ -1,0 +1,306 @@
+#include "encodings/cardinality.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "encodings/cardnet.h"
+#include "encodings/totalizer.h"
+
+namespace msu {
+namespace {
+
+/// Adds `clause` to the sink, appending `~activator` when present.
+void addGuarded(ClauseSink& sink, std::vector<Lit> clause,
+                std::optional<Lit> act) {
+  if (act) clause.push_back(~*act);
+  sink.addClause(clause);
+}
+
+/// Comparator of a sorting network: returns (hi, lo) = (a|b, a&b) with
+/// biconditional semantics. Constant inputs (the sink's true/false
+/// literals) are simplified away without emitting clauses.
+std::pair<Lit, Lit> comparator(ClauseSink& sink, Lit a, Lit b, Lit tru) {
+  const Lit fls = ~tru;
+  if (a == fls) return {b, fls};
+  if (b == fls) return {a, fls};
+  if (a == tru) return {tru, b};
+  if (b == tru) return {tru, a};
+  const Lit hi = posLit(sink.newVar());
+  const Lit lo = posLit(sink.newVar());
+  // hi <-> a | b
+  sink.addClause({~a, hi});
+  sink.addClause({~b, hi});
+  sink.addClause({a, b, ~hi});
+  // lo <-> a & b
+  sink.addClause({~lo, a});
+  sink.addClause({~lo, b});
+  sink.addClause({~a, ~b, lo});
+  return {hi, lo};
+}
+
+/// Batcher odd-even merge of two descending-sorted sequences of equal
+/// power-of-two length.
+std::vector<Lit> oddEvenMerge(ClauseSink& sink, const std::vector<Lit>& a,
+                              const std::vector<Lit>& b, Lit tru) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n == 1) {
+    auto [hi, lo] = comparator(sink, a[0], b[0], tru);
+    return {hi, lo};
+  }
+  auto pick = [](const std::vector<Lit>& v, std::size_t start) {
+    std::vector<Lit> out;
+    for (std::size_t i = start; i < v.size(); i += 2) out.push_back(v[i]);
+    return out;
+  };
+  const std::vector<Lit> d =
+      oddEvenMerge(sink, pick(a, 0), pick(b, 0), tru);  // evens
+  const std::vector<Lit> e =
+      oddEvenMerge(sink, pick(a, 1), pick(b, 1), tru);  // odds
+  std::vector<Lit> out(2 * n);
+  out[0] = d[0];
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    auto [hi, lo] = comparator(sink, d[i + 1], e[i], tru);
+    out[2 * i + 1] = hi;
+    out[2 * i + 2] = lo;
+  }
+  out[2 * n - 1] = e[n - 1];
+  return out;
+}
+
+/// Recursive odd-even mergesort over a power-of-two sized input.
+std::vector<Lit> oddEvenSort(ClauseSink& sink, std::vector<Lit> v, Lit tru) {
+  if (v.size() <= 1) return v;
+  const std::size_t half = v.size() / 2;
+  std::vector<Lit> lo(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<Lit> hi(v.begin() + static_cast<std::ptrdiff_t>(half), v.end());
+  return oddEvenMerge(sink, oddEvenSort(sink, std::move(lo), tru),
+                      oddEvenSort(sink, std::move(hi), tru), tru);
+}
+
+/// Sinz sequential-counter encoding of `sum(lits) <= k` (k >= 1).
+/// Register definitions are emitted unguarded (they only define fresh
+/// variables); the bound-violation clauses carry the guard.
+void sequentialAtMost(ClauseSink& sink, std::span<const Lit> lits, int k,
+                      std::optional<Lit> act) {
+  const int n = static_cast<int>(lits.size());
+  assert(k >= 1 && k < n);
+  // s[i][j]: among lits[0..i] at least j+1 are true (j < k).
+  std::vector<std::vector<Lit>> s(static_cast<std::size_t>(n - 1));
+  for (auto& row : s) {
+    row.resize(static_cast<std::size_t>(k));
+    for (Lit& p : row) p = posLit(sink.newVar());
+  }
+  // Base: lits[0] -> s[0][0].
+  sink.addClause({~lits[0], s[0][0]});
+  for (int i = 1; i < n - 1; ++i) {
+    // Carry: s[i-1][j] -> s[i][j].
+    for (int j = 0; j < k; ++j) {
+      sink.addClause({~s[i - 1][j], s[i][j]});
+    }
+    // Count: lits[i] -> s[i][0]; lits[i] & s[i-1][j-1] -> s[i][j].
+    sink.addClause({~lits[i], s[i][0]});
+    for (int j = 1; j < k; ++j) {
+      sink.addClause({~lits[i], ~s[i - 1][j - 1], s[i][j]});
+    }
+  }
+  // Violation: lits[i] & s[i-1][k-1] -> false, guarded.
+  for (int i = 1; i < n; ++i) {
+    addGuarded(sink, {~lits[i], ~s[i - 1][k - 1]}, act);
+  }
+}
+
+}  // namespace
+
+const char* toString(CardEncoding enc) {
+  switch (enc) {
+    case CardEncoding::Bdd:
+      return "bdd";
+    case CardEncoding::Sorter:
+      return "sorter";
+    case CardEncoding::Sequential:
+      return "sequential";
+    case CardEncoding::Totalizer:
+      return "totalizer";
+    case CardEncoding::Pairwise:
+      return "pairwise";
+    case CardEncoding::CardNet:
+      return "cardnet";
+  }
+  return "?";
+}
+
+std::vector<Lit> buildSortingNetwork(ClauseSink& sink,
+                                     std::span<const Lit> lits) {
+  std::vector<Lit> in(lits.begin(), lits.end());
+  if (in.empty()) return {};
+  std::size_t padded = 1;
+  while (padded < in.size()) padded *= 2;
+  const Lit tru = sink.trueLit();
+  while (in.size() < padded) in.push_back(~tru);
+  std::vector<Lit> out = oddEvenSort(sink, std::move(in), tru);
+  out.resize(lits.size());  // tail positions are constant false padding
+  return out;
+}
+
+Lit buildAtMostBdd(ClauseSink& sink, std::span<const Lit> lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  const Lit tru = sink.trueLit();
+  if (k < 0) return ~tru;
+  if (k >= n) return tru;
+
+  // Memoized counter DAG: node(i, cnt) is the BDD for "at most k of
+  // lits[i..) are true given cnt already true".
+  std::map<std::pair<int, int>, Lit> memo;
+  auto node = [&](auto&& self, int i, int cnt) -> Lit {
+    if (cnt > k) return ~tru;
+    if (cnt + (n - i) <= k) return tru;  // always satisfiable from here
+    const auto key = std::make_pair(i, cnt);
+    if (auto it = memo.find(key); it != memo.end()) return it->second;
+
+    const Lit t = self(self, i + 1, cnt + 1);  // lits[i] true
+    const Lit e = self(self, i + 1, cnt);      // lits[i] false
+    Lit v;
+    if (t == e) {
+      v = t;
+    } else {
+      v = posLit(sink.newVar());
+      const Lit x = lits[i];
+      // v <-> ITE(x, t, e), with redundant clauses for propagation.
+      sink.addClause({~v, ~x, t});
+      sink.addClause({~v, x, e});
+      sink.addClause({v, ~x, ~t});
+      sink.addClause({v, x, ~e});
+      sink.addClause({~t, ~e, v});
+      sink.addClause({t, e, ~v});
+    }
+    memo.emplace(key, v);
+    return v;
+  };
+  return node(node, 0, 0);
+}
+
+void encodeAtMost(ClauseSink& sink, std::span<const Lit> lits, int k,
+                  CardEncoding enc, std::optional<Lit> activator) {
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;  // trivially true
+  if (k < 0) {
+    // Falsum (under the activator).
+    addGuarded(sink, {}, activator);
+    return;
+  }
+  if (k == 0) {
+    for (Lit p : lits) addGuarded(sink, {~p}, activator);
+    return;
+  }
+  switch (enc) {
+    case CardEncoding::Bdd: {
+      const Lit root = buildAtMostBdd(sink, lits, k);
+      addGuarded(sink, {root}, activator);
+      return;
+    }
+    case CardEncoding::Sorter: {
+      const std::vector<Lit> out = buildSortingNetwork(sink, lits);
+      addGuarded(sink, {~out[static_cast<std::size_t>(k)]}, activator);
+      return;
+    }
+    case CardEncoding::Sequential:
+      sequentialAtMost(sink, lits, k, activator);
+      return;
+    case CardEncoding::Totalizer: {
+      Totalizer tot(sink, lits);
+      addGuarded(sink, {~tot.outputs()[static_cast<std::size_t>(k)]},
+                 activator);
+      return;
+    }
+    case CardEncoding::Pairwise:
+      if (k == 1) {
+        encodeAtMostOnePairwise(sink, lits, activator);
+      } else {
+        sequentialAtMost(sink, lits, k, activator);
+      }
+      return;
+    case CardEncoding::CardNet: {
+      const std::vector<Lit> out = buildCardinalityNetwork(sink, lits, k);
+      addGuarded(sink, {~out[static_cast<std::size_t>(k)]}, activator);
+      return;
+    }
+  }
+}
+
+void encodeAtLeast(ClauseSink& sink, std::span<const Lit> lits, int k,
+                   CardEncoding enc, std::optional<Lit> activator) {
+  const int n = static_cast<int>(lits.size());
+  if (k <= 0) return;  // trivially true
+  if (k > n) {
+    addGuarded(sink, {}, activator);
+    return;
+  }
+  if (k == 1) {
+    addGuarded(sink, std::vector<Lit>(lits.begin(), lits.end()), activator);
+    return;
+  }
+  std::vector<Lit> neg;
+  neg.reserve(lits.size());
+  for (Lit p : lits) neg.push_back(~p);
+  encodeAtMost(sink, neg, n - k, enc, activator);
+}
+
+void encodeExactly(ClauseSink& sink, std::span<const Lit> lits, int k,
+                   CardEncoding enc, std::optional<Lit> activator) {
+  encodeAtMost(sink, lits, k, enc, activator);
+  encodeAtLeast(sink, lits, k, enc, activator);
+}
+
+void encodeAtMostOnePairwise(ClauseSink& sink, std::span<const Lit> lits,
+                             std::optional<Lit> activator) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      addGuarded(sink, {~lits[i], ~lits[j]}, activator);
+    }
+  }
+}
+
+void encodeAtMostOneLadder(ClauseSink& sink, std::span<const Lit> lits,
+                           std::optional<Lit> activator) {
+  const int n = static_cast<int>(lits.size());
+  if (n <= 1) return;
+  if (n == 2) {
+    addGuarded(sink, {~lits[0], ~lits[1]}, activator);
+    return;
+  }
+  // s[i]: some literal among lits[0..i] is true.
+  std::vector<Lit> s(static_cast<std::size_t>(n - 1));
+  for (Lit& p : s) p = posLit(sink.newVar());
+  sink.addClause({~lits[0], s[0]});
+  for (int i = 1; i < n - 1; ++i) {
+    sink.addClause({~s[i - 1], s[i]});
+    sink.addClause({~lits[i], s[i]});
+  }
+  for (int i = 1; i < n; ++i) {
+    addGuarded(sink, {~lits[i], ~s[i - 1]}, activator);
+  }
+}
+
+void encodeExactlyOne(ClauseSink& sink, std::span<const Lit> lits,
+                      std::optional<Lit> activator) {
+  addGuarded(sink, std::vector<Lit>(lits.begin(), lits.end()), activator);
+  if (lits.size() <= 8) {
+    encodeAtMostOnePairwise(sink, lits, activator);
+  } else {
+    encodeAtMostOneLadder(sink, lits, activator);
+  }
+}
+
+EncodingSize measureAtMost(int n, int k, CardEncoding enc) {
+  CnfFormula cnf(n);
+  std::vector<Lit> lits;
+  lits.reserve(static_cast<std::size_t>(n));
+  for (Var v = 0; v < n; ++v) lits.push_back(posLit(v));
+  FormulaSink sink(cnf);
+  encodeAtMost(sink, lits, k, enc);
+  return EncodingSize{cnf.numClauses(), cnf.numVars() - n};
+}
+
+}  // namespace msu

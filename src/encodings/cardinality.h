@@ -1,0 +1,97 @@
+/// \file cardinality.h
+/// \brief CNF encodings of cardinality constraints `sum(lits) <= k` (and
+///        friends). The DATE'08 paper's two msu4 variants differ only
+///        here: v1 encodes with BDDs, v2 with Batcher odd-even sorting
+///        networks, both following Eén & Sörensson's minisat+ paper.
+///        Sequential counters (Sinz) and totalizers (Bailleux–Boufkhad)
+///        are provided as ablation encodings, plus pairwise/ladder
+///        special cases for at-most-one.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+/// Available cardinality encodings.
+enum class CardEncoding {
+  Bdd,         ///< ITE/BDD counter encoding (msu4 v1)
+  Sorter,      ///< Batcher odd-even sorting network (msu4 v2)
+  Sequential,  ///< Sinz sequential counter
+  Totalizer,   ///< Bailleux–Boufkhad totalizer
+  Pairwise,    ///< pairwise (k==1 only; falls back to Sequential otherwise)
+  CardNet,     ///< k-truncated odd-even cardinality network (Asín et al.)
+};
+
+/// Short lowercase name ("bdd", "sorter", ...).
+[[nodiscard]] const char* toString(CardEncoding enc);
+
+/// Encodes `sum(lits) <= k` into the sink.
+///
+/// If `activator` is given, every clause is guarded so the constraint is
+/// only enforced when the activator literal is true (`act -> constraint`),
+/// enabling assumption-based retraction. Trivial cases (k < 0 becomes
+/// falsum under the activator; k >= |lits| is a no-op) are handled.
+void encodeAtMost(ClauseSink& sink, std::span<const Lit> lits, int k,
+                  CardEncoding enc,
+                  std::optional<Lit> activator = std::nullopt);
+
+/// Encodes `sum(lits) >= k` (via at-most over complements).
+void encodeAtLeast(ClauseSink& sink, std::span<const Lit> lits, int k,
+                   CardEncoding enc,
+                   std::optional<Lit> activator = std::nullopt);
+
+/// Encodes `sum(lits) == k`.
+void encodeExactly(ClauseSink& sink, std::span<const Lit> lits, int k,
+                   CardEncoding enc,
+                   std::optional<Lit> activator = std::nullopt);
+
+/// Encodes "at most one of lits" with the pairwise encoding (quadratic,
+/// no auxiliary variables).
+void encodeAtMostOnePairwise(ClauseSink& sink, std::span<const Lit> lits,
+                             std::optional<Lit> activator = std::nullopt);
+
+/// Encodes "at most one" with the ladder/regular encoding (linear,
+/// |lits|-1 auxiliary variables).
+void encodeAtMostOneLadder(ClauseSink& sink, std::span<const Lit> lits,
+                           std::optional<Lit> activator = std::nullopt);
+
+/// Encodes "exactly one of lits" (at-least-one clause + pairwise AMO).
+void encodeExactlyOne(ClauseSink& sink, std::span<const Lit> lits,
+                      std::optional<Lit> activator = std::nullopt);
+
+// ---------------------------------------------------------------------
+// Reusable building blocks (exposed for incremental use and for tests).
+// ---------------------------------------------------------------------
+
+/// Builds a Batcher odd-even sorting network over `lits`.
+///
+/// Returns output literals sorted "ones first": `out[i]` is true iff at
+/// least `i+1` inputs are true. The outputs are full biconditionals, so
+/// both `sum <= k` (assert `~out[k]`) and `sum >= k` (assert `out[k-1]`)
+/// can be enforced by unit clauses or assumptions — this is what lets
+/// msu4 v2 reuse one network across successively tighter bounds.
+[[nodiscard]] std::vector<Lit> buildSortingNetwork(ClauseSink& sink,
+                                                   std::span<const Lit> lits);
+
+/// Builds the BDD (counter-DAG) for `sum(lits) <= k` and returns a
+/// literal equivalent to the constraint (biconditional encoding).
+[[nodiscard]] Lit buildAtMostBdd(ClauseSink& sink, std::span<const Lit> lits,
+                                 int k);
+
+/// Statistics helper used by micro-benchmarks: number of clauses/vars an
+/// encoding emits for given (n, k).
+struct EncodingSize {
+  std::int64_t clauses = 0;
+  std::int64_t auxVars = 0;
+};
+
+/// Measures the emitted size of `encodeAtMost` for (n, k).
+[[nodiscard]] EncodingSize measureAtMost(int n, int k, CardEncoding enc);
+
+}  // namespace msu

@@ -1,0 +1,109 @@
+#include "encodings/cardnet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msu {
+
+namespace {
+
+/// Forward-only comparator: hi = a|b, lo = a&b, with just the
+/// input->output clauses upper-bound constraints need. Constants
+/// short-circuit without emitting anything.
+std::pair<Lit, Lit> halfComparator(ClauseSink& sink, Lit a, Lit b, Lit tru) {
+  const Lit fls = ~tru;
+  if (a == fls) return {b, fls};
+  if (b == fls) return {a, fls};
+  if (a == tru) return {tru, b};
+  if (b == tru) return {tru, a};
+  const Lit hi = posLit(sink.newVar());
+  const Lit lo = posLit(sink.newVar());
+  sink.addClause({~a, hi});
+  sink.addClause({~b, hi});
+  sink.addClause({~a, ~b, lo});
+  return {hi, lo};
+}
+
+[[nodiscard]] std::vector<Lit> evensOf(const std::vector<Lit>& v) {
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+[[nodiscard]] std::vector<Lit> oddsOf(const std::vector<Lit>& v) {
+  std::vector<Lit> out;
+  for (std::size_t i = 1; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+/// Truncated odd-even merge: `a` and `b` are sorted ones-first, equal
+/// power-of-two length n; returns the first `min(2n, m)` merged outputs.
+/// Kept output positions only ever read sub-merge positions below
+/// `m/2 + 1`, which is what makes the truncation sound.
+std::vector<Lit> truncatedMerge(ClauseSink& sink, const std::vector<Lit>& a,
+                                const std::vector<Lit>& b, int m, Lit tru) {
+  assert(a.size() == b.size());
+  const int n = static_cast<int>(a.size());
+  if (m <= 0) return {};
+  if (n == 1) {
+    auto [hi, lo] = halfComparator(sink, a[0], b[0], tru);
+    std::vector<Lit> out{hi, lo};
+    out.resize(static_cast<std::size_t>(std::min(2, m)));
+    return out;
+  }
+  const int subM = std::min(n, m / 2 + 1);
+  const std::vector<Lit> d =
+      truncatedMerge(sink, evensOf(a), evensOf(b), subM, tru);
+  const std::vector<Lit> e =
+      truncatedMerge(sink, oddsOf(a), oddsOf(b), subM, tru);
+
+  const int length = std::min(2 * n, m);
+  std::vector<Lit> out(static_cast<std::size_t>(length));
+  out[0] = d[0];
+  for (int pos = 1; pos < length; pos += 2) {
+    if (pos == 2 * n - 1) {
+      out[static_cast<std::size_t>(pos)] = e[static_cast<std::size_t>(n - 1)];
+      break;
+    }
+    const int i = (pos - 1) / 2;
+    auto [hi, lo] = halfComparator(sink, d[static_cast<std::size_t>(i + 1)],
+                                   e[static_cast<std::size_t>(i)], tru);
+    out[static_cast<std::size_t>(pos)] = hi;
+    if (pos + 1 < length) out[static_cast<std::size_t>(pos + 1)] = lo;
+  }
+  return out;
+}
+
+/// Recursive cardinality network: returns the first `min(|v|, m)` sorted
+/// outputs over `v`.
+std::vector<Lit> cardRec(ClauseSink& sink, std::span<const Lit> v, int m,
+                         Lit tru) {
+  if (m <= 0) return {};
+  if (v.size() <= 1) return {v.begin(), v.end()};
+  const std::size_t half = v.size() / 2;
+  std::vector<Lit> left = cardRec(sink, v.subspan(0, half), m, tru);
+  std::vector<Lit> right = cardRec(sink, v.subspan(half), m, tru);
+
+  // Align to a common power-of-two length; false padding at the tail of
+  // a ones-first sequence is exact, not an approximation.
+  std::size_t padded = 1;
+  while (padded < std::max(left.size(), right.size())) padded *= 2;
+  left.resize(padded, ~tru);
+  right.resize(padded, ~tru);
+
+  std::vector<Lit> out = truncatedMerge(
+      sink, left, right, std::min<int>(m, static_cast<int>(v.size())), tru);
+  if (out.size() > v.size()) out.resize(v.size());  // drop pad positions
+  return out;
+}
+
+}  // namespace
+
+std::vector<Lit> buildCardinalityNetwork(ClauseSink& sink,
+                                         std::span<const Lit> lits, int k) {
+  if (lits.empty() || k < 0) return {};
+  const Lit tru = sink.trueLit();
+  return cardRec(sink, lits, k + 1, tru);
+}
+
+}  // namespace msu

@@ -1,0 +1,29 @@
+/// \file cardnet.h
+/// \brief k-Cardinality networks (Asín, Nieuwenhuis, Oliveras &
+///        Rodríguez-Carbonell): odd-even merge networks truncated to the
+///        first k+1 outputs. Same arc-consistent propagation as the full
+///        Batcher sorter used by msu4 v2, at O(n log^2 k) instead of
+///        O(n log^2 n) size — the natural "alternative encoding" the
+///        paper's §5 asks to be explored.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+/// Builds a cardinality network over `lits` producing the first
+/// `min(|lits|, k+1)` sorted ("ones-first") outputs: `out[i]` is true if
+/// at least `i+1` inputs are true, valid for `i <= k`. Enforce
+/// `sum <= k` by asserting `~out[k]` (when `k < |lits|`).
+///
+/// Only the input->output ("at most") direction is emitted, which is
+/// what upper-bound constraints need.
+[[nodiscard]] std::vector<Lit> buildCardinalityNetwork(
+    ClauseSink& sink, std::span<const Lit> lits, int k);
+
+}  // namespace msu

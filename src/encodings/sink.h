@@ -1,0 +1,99 @@
+/// \file sink.h
+/// \brief Abstraction over "something clauses can be added to": the CDCL
+///        solver during search, or a plain formula when building CNF
+///        offline (tests, file export). All encoders target this
+///        interface so every encoding is usable in both settings.
+
+#pragma once
+
+#include <span>
+
+#include "cnf/formula.h"
+#include "cnf/literal.h"
+#include "cnf/wcnf.h"
+#include "sat/solver.h"
+
+namespace msu {
+
+/// Destination for encoder output: fresh variables plus clauses.
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+
+  /// Creates a fresh variable.
+  virtual Var newVar() = 0;
+
+  /// Adds a clause over existing variables.
+  virtual void addClause(std::span<const Lit> lits) = 0;
+
+  void addClause(std::initializer_list<Lit> lits) {
+    addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// A literal constrained to be true (lazily created once per sink).
+  /// Its complement serves as the constant false.
+  [[nodiscard]] Lit trueLit() {
+    if (!true_lit_.defined()) {
+      true_lit_ = posLit(newVar());
+      addClause({true_lit_});
+    }
+    return true_lit_;
+  }
+
+  /// A literal constrained to be false.
+  [[nodiscard]] Lit falseLit() { return ~trueLit(); }
+
+ private:
+  Lit true_lit_ = kUndefLit;
+};
+
+/// Sink that feeds a CDCL solver.
+class SolverSink final : public ClauseSink {
+ public:
+  explicit SolverSink(Solver& solver) : solver_(&solver) {}
+
+  using ClauseSink::addClause;
+
+  Var newVar() override { return solver_->newVar(); }
+
+  void addClause(std::span<const Lit> lits) override {
+    // A conflicting addition flips the solver to "not okay"; encoders
+    // need not observe it (subsequent solves report UNSAT).
+    static_cast<void>(solver_->addClause(lits));
+  }
+
+ private:
+  Solver* solver_;
+};
+
+/// Sink that appends to a CnfFormula.
+class FormulaSink final : public ClauseSink {
+ public:
+  explicit FormulaSink(CnfFormula& cnf) : cnf_(&cnf) {}
+
+  using ClauseSink::addClause;
+
+  Var newVar() override { return cnf_->newVar(); }
+
+  void addClause(std::span<const Lit> lits) override { cnf_->addClause(lits); }
+
+ private:
+  CnfFormula* cnf_;
+};
+
+/// Sink that appends hard clauses to a WcnfFormula.
+class WcnfHardSink final : public ClauseSink {
+ public:
+  explicit WcnfHardSink(WcnfFormula& wcnf) : wcnf_(&wcnf) {}
+
+  using ClauseSink::addClause;
+
+  Var newVar() override { return wcnf_->newVar(); }
+
+  void addClause(std::span<const Lit> lits) override { wcnf_->addHard(lits); }
+
+ private:
+  WcnfFormula* wcnf_;
+};
+
+}  // namespace msu

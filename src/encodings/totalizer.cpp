@@ -1,0 +1,66 @@
+#include "encodings/totalizer.h"
+
+#include <cassert>
+
+namespace msu {
+
+Totalizer::Totalizer(ClauseSink& sink, std::span<const Lit> inputs,
+                     bool bothPolarities)
+    : sink_(&sink), both_(bothPolarities) {
+  outputs_ = build(inputs);
+}
+
+void Totalizer::addInputs(std::span<const Lit> inputs) {
+  if (inputs.empty()) return;
+  std::vector<Lit> sub = build(inputs);
+  if (outputs_.empty()) {
+    outputs_ = std::move(sub);
+  } else {
+    outputs_ = merge(outputs_, sub);
+  }
+}
+
+std::vector<Lit> Totalizer::build(std::span<const Lit> inputs) {
+  if (inputs.empty()) return {};
+  if (inputs.size() == 1) return {inputs[0]};
+  const std::size_t half = inputs.size() / 2;
+  const std::vector<Lit> left = build(inputs.subspan(0, half));
+  const std::vector<Lit> right = build(inputs.subspan(half));
+  return merge(left, right);
+}
+
+std::vector<Lit> Totalizer::merge(const std::vector<Lit>& left,
+                                  const std::vector<Lit>& right) {
+  const int p = static_cast<int>(left.size());
+  const int q = static_cast<int>(right.size());
+  std::vector<Lit> out(static_cast<std::size_t>(p + q));
+  for (Lit& r : out) r = posLit(sink_->newVar());
+
+  // Forward: left>=i and right>=j imply out>=i+j.
+  for (int i = 0; i <= p; ++i) {
+    for (int j = 0; j <= q; ++j) {
+      if (i + j == 0) continue;
+      std::vector<Lit> clause;
+      if (i > 0) clause.push_back(~left[i - 1]);
+      if (j > 0) clause.push_back(~right[j - 1]);
+      clause.push_back(out[static_cast<std::size_t>(i + j - 1)]);
+      sink_->addClause(clause);
+    }
+  }
+  if (both_) {
+    // Reverse: out>=i+j+1 implies left>=i+1 or right>=j+1.
+    for (int i = 0; i <= p; ++i) {
+      for (int j = 0; j <= q; ++j) {
+        if (i + j == p + q) continue;
+        std::vector<Lit> clause;
+        if (i < p) clause.push_back(left[i]);
+        if (j < q) clause.push_back(right[j]);
+        clause.push_back(~out[static_cast<std::size_t>(i + j)]);
+        sink_->addClause(clause);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace msu

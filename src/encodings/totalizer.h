@@ -1,0 +1,58 @@
+/// \file totalizer.h
+/// \brief Bailleux–Boufkhad totalizer with incremental input extension —
+///        the cardinality substrate used by the incremental variants of
+///        msu3/msu4 (and as an ablation encoding inside msu4 itself).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+/// A totalizer over a growing set of input literals.
+///
+/// `outputs()[i]` is true iff at least `i+1` inputs are true (full
+/// biconditional semantics), so `sum <= k` is enforced by the unit clause
+/// or assumption `~outputs()[k]`, and `sum >= k` by `outputs()[k-1]`.
+///
+/// `addInputs` merges additional inputs into the tree without touching
+/// previously emitted clauses — this is what makes the constraint usable
+/// incrementally as core-guided algorithms discover new blocking
+/// variables.
+class Totalizer {
+ public:
+  /// Builds a totalizer over `inputs` (may be empty and extended later).
+  /// When `bothPolarities` is false only the "at most" direction is
+  /// emitted (smaller, sufficient for `sum <= k` assertions).
+  Totalizer(ClauseSink& sink, std::span<const Lit> inputs,
+            bool bothPolarities = true);
+
+  /// Merges more inputs into the totalizer.
+  void addInputs(std::span<const Lit> inputs);
+
+  /// Output literals, ones-first; size equals the number of inputs.
+  [[nodiscard]] const std::vector<Lit>& outputs() const { return outputs_; }
+
+  /// Number of inputs added so far.
+  [[nodiscard]] int numInputs() const {
+    return static_cast<int>(outputs_.size());
+  }
+
+ private:
+  /// Merges two sorted-count output vectors into a fresh one.
+  [[nodiscard]] std::vector<Lit> merge(const std::vector<Lit>& left,
+                                       const std::vector<Lit>& right);
+
+  /// Builds a balanced tree over `inputs`, returning its output vector.
+  [[nodiscard]] std::vector<Lit> build(std::span<const Lit> inputs);
+
+  ClauseSink* sink_;
+  bool both_;
+  std::vector<Lit> outputs_;
+};
+
+}  // namespace msu

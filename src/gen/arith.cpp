@@ -1,0 +1,172 @@
+#include "gen/arith.h"
+
+#include <cassert>
+
+#include "gen/miter.h"
+
+namespace msu {
+namespace {
+
+/// Full adder over gate ids: returns (sum, carry).
+/// carry = ab | c(a^b) — the standard decomposition, no majority gate.
+std::pair<int, int> fullAdder(Circuit& c, int a, int b, int cin) {
+  const int axb = c.addGate(GateType::Xor, {a, b});
+  const int sum = c.addGate(GateType::Xor, {axb, cin});
+  const int ab = c.addGate(GateType::And, {a, b});
+  const int caxb = c.addGate(GateType::And, {axb, cin});
+  const int carry = c.addGate(GateType::Or, {ab, caxb});
+  return {sum, carry};
+}
+
+/// Half adder: returns (sum, carry).
+std::pair<int, int> halfAdder(Circuit& c, int a, int b) {
+  return {c.addGate(GateType::Xor, {a, b}), c.addGate(GateType::And, {a, b})};
+}
+
+}  // namespace
+
+Circuit rippleCarryAdder(int bits) {
+  assert(bits >= 1);
+  Circuit c(2 * bits);
+  const auto a = [&](int i) { return i; };
+  const auto b = [&](int i) { return bits + i; };
+
+  std::vector<int> sums;
+  auto [s0, carry] = halfAdder(c, a(0), b(0));
+  sums.push_back(s0);
+  for (int i = 1; i < bits; ++i) {
+    auto [si, ci] = fullAdder(c, a(i), b(i), carry);
+    sums.push_back(si);
+    carry = ci;
+  }
+  for (int s : sums) c.addOutput(s);
+  c.addOutput(carry);
+  return c;
+}
+
+Circuit koggeStoneAdder(int bits) {
+  assert(bits >= 1);
+  Circuit c(2 * bits);
+  const auto a = [&](int i) { return i; };
+  const auto b = [&](int i) { return bits + i; };
+
+  // Generate/propagate pairs per bit.
+  std::vector<int> g(static_cast<std::size_t>(bits));
+  std::vector<int> p(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    g[static_cast<std::size_t>(i)] = c.addGate(GateType::And, {a(i), b(i)});
+    p[static_cast<std::size_t>(i)] = c.addGate(GateType::Xor, {a(i), b(i)});
+  }
+
+  // Parallel-prefix combine: (g,p) o (g',p') = (g | p&g', p&p').
+  // For carry computation, AND-propagate suffices (XOR-p only for sums).
+  std::vector<int> gp(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    gp[static_cast<std::size_t>(i)] = c.addGate(
+        GateType::Or, {a(i), b(i)});  // carry-propagate (inclusive)
+  }
+  std::vector<int> G = g;
+  std::vector<int> P = gp;
+  for (int dist = 1; dist < bits; dist *= 2) {
+    std::vector<int> G2 = G;
+    std::vector<int> P2 = P;
+    for (int i = dist; i < bits; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      const auto ju = static_cast<std::size_t>(i - dist);
+      const int pg = c.addGate(GateType::And, {P[iu], G[ju]});
+      G2[iu] = c.addGate(GateType::Or, {G[iu], pg});
+      P2[iu] = c.addGate(GateType::And, {P[iu], P[ju]});
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+
+  // sum_0 = p_0; sum_i = p_i XOR carry_i where carry_i = G_{i-1}.
+  c.addOutput(p[0]);
+  for (int i = 1; i < bits; ++i) {
+    c.addOutput(c.addGate(
+        GateType::Xor,
+        {p[static_cast<std::size_t>(i)], G[static_cast<std::size_t>(i - 1)]}));
+  }
+  c.addOutput(G[static_cast<std::size_t>(bits - 1)]);  // carry out
+  return c;
+}
+
+Circuit arrayMultiplier(int bits) {
+  assert(bits >= 1);
+  Circuit c(2 * bits);
+  const auto a = [&](int i) { return i; };
+  const auto b = [&](int i) { return bits + i; };
+
+  // Partial products bucketed by output bit, then column compression
+  // with half/full adders (carries ripple into the next column).
+  std::vector<std::vector<int>> columns(static_cast<std::size_t>(2 * bits));
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < bits; ++j) {
+      columns[static_cast<std::size_t>(i + j)].push_back(
+          c.addGate(GateType::And, {a(i), b(j)}));
+    }
+  }
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    while (columns[col].size() >= 3) {
+      const int x = columns[col][columns[col].size() - 1];
+      const int y = columns[col][columns[col].size() - 2];
+      const int z = columns[col][columns[col].size() - 3];
+      columns[col].resize(columns[col].size() - 3);
+      const auto [sum, carry] = fullAdder(c, x, y, z);
+      columns[col].push_back(sum);
+      if (col + 1 < columns.size()) {
+        columns[col + 1].push_back(carry);
+      }
+    }
+    if (columns[col].size() == 2) {
+      const int x = columns[col][0];
+      const int y = columns[col][1];
+      columns[col].clear();
+      const auto [sum, carry] = halfAdder(c, x, y);
+      columns[col].push_back(sum);
+      if (col + 1 < columns.size()) {
+        columns[col + 1].push_back(carry);
+      }
+    }
+    if (columns[col].empty()) {
+      // Top column can be empty when no carry reaches it: emit constant 0
+      // as x AND ~x of input 0.
+      const int notA0 = c.addGate(GateType::Not, {0});
+      columns[col].push_back(c.addGate(GateType::And, {0, notA0}));
+    }
+    c.addOutput(columns[col][0]);
+  }
+  return c;
+}
+
+CnfFormula adderEquivalenceMiter(int bits) {
+  return buildMiter(rippleCarryAdder(bits), koggeStoneAdder(bits));
+}
+
+CnfFormula multiplierCommutativityMiter(int bits) {
+  // b*a is the same circuit with the input halves swapped: express it as
+  // the original multiplier preceded by BUF gates crossing the inputs.
+  const Circuit mul = arrayMultiplier(bits);
+  Circuit swapped(2 * bits);
+  std::vector<int> remap(static_cast<std::size_t>(mul.numGates()), -1);
+  for (int i = 0; i < bits; ++i) {
+    remap[static_cast<std::size_t>(i)] = bits + i;         // a_i <- b_i
+    remap[static_cast<std::size_t>(bits + i)] = i;         // b_i <- a_i
+  }
+  for (int gid = mul.numInputs(); gid < mul.numGates(); ++gid) {
+    const Gate& gate = mul.gate(gid);
+    std::vector<int> ins;
+    for (int f : gate.fanin) ins.push_back(remap[static_cast<std::size_t>(f)]);
+    remap[static_cast<std::size_t>(gid)] =
+        swapped.addGate(gate.type, std::move(ins));
+  }
+  std::vector<int> outs;
+  for (int o : mul.outputs()) {
+    outs.push_back(remap[static_cast<std::size_t>(o)]);
+  }
+  swapped.setOutputs(std::move(outs));
+  return buildMiter(mul, swapped);
+}
+
+}  // namespace msu

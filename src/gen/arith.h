@@ -1,0 +1,36 @@
+/// \file arith.h
+/// \brief Deterministic arithmetic circuits — the classic equivalence-
+///        checking workloads. Two structurally different adder
+///        architectures (ripple-carry and Kogge–Stone parallel-prefix)
+///        compute the same function, so their miter is UNSAT and
+///        refuting it requires genuine reasoning; multiplier
+///        commutativity miters are the famously hard end of the family.
+
+#pragma once
+
+#include "gen/circuit.h"
+
+namespace msu {
+
+/// n-bit ripple-carry adder. Inputs: a[0..n) then b[0..n) (LSB first).
+/// Outputs: sum[0..n) then carry-out.
+[[nodiscard]] Circuit rippleCarryAdder(int bits);
+
+/// n-bit Kogge–Stone (parallel-prefix) adder. Same interface as
+/// rippleCarryAdder; radically different structure (log-depth prefix
+/// tree of generate/propagate pairs).
+[[nodiscard]] Circuit koggeStoneAdder(int bits);
+
+/// n x n array multiplier. Inputs: a[0..n) then b[0..n). Outputs the
+/// 2n-bit product (LSB first).
+[[nodiscard]] Circuit arrayMultiplier(int bits);
+
+/// Miter of the two adder architectures (UNSAT: they are equivalent).
+[[nodiscard]] CnfFormula adderEquivalenceMiter(int bits);
+
+/// Miter asserting a*b != b*a for the array multiplier (UNSAT:
+/// multiplication commutes) — the classic hard equivalence instance.
+/// Feasible sizes for second-scale budgets: 3-5 bits.
+[[nodiscard]] CnfFormula multiplierCommutativityMiter(int bits);
+
+}  // namespace msu

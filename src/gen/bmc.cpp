@@ -1,0 +1,66 @@
+#include "gen/bmc.h"
+
+#include <cassert>
+
+namespace msu {
+namespace {
+
+/// Adds x <-> a XOR b.
+void defXor(CnfFormula& cnf, Lit x, Lit a, Lit b) {
+  cnf.addClause({~x, a, b});
+  cnf.addClause({~x, ~a, ~b});
+  cnf.addClause({x, ~a, b});
+  cnf.addClause({x, a, ~b});
+}
+
+/// Adds x <-> a AND b.
+void defAnd(CnfFormula& cnf, Lit x, Lit a, Lit b) {
+  cnf.addClause({~x, a});
+  cnf.addClause({~x, b});
+  cnf.addClause({x, ~a, ~b});
+}
+
+}  // namespace
+
+CnfFormula bmcCounterInstance(const BmcCounterParams& params) {
+  const int n = params.bits;
+  const int k = params.steps;
+  assert(n >= 1 && k >= 1);
+  assert(static_cast<std::int64_t>(k) + 1 < (std::int64_t{1} << n));
+
+  CnfFormula cnf;
+  // State bits of step 0.
+  std::vector<Lit> state;
+  for (int b = 0; b < n; ++b) state.push_back(posLit(cnf.newVar()));
+  // Initial state: zero.
+  for (Lit s : state) cnf.addClause({~s});
+
+  for (int step = 0; step < k; ++step) {
+    const Lit enable = posLit(cnf.newVar());
+    // Ripple increment by `enable`: next = state + enable.
+    std::vector<Lit> next;
+    Lit carry = enable;
+    for (int b = 0; b < n; ++b) {
+      const Lit sum = posLit(cnf.newVar());
+      defXor(cnf, sum, state[static_cast<std::size_t>(b)], carry);
+      if (b + 1 < n) {
+        const Lit nextCarry = posLit(cnf.newVar());
+        defAnd(cnf, nextCarry, state[static_cast<std::size_t>(b)], carry);
+        carry = nextCarry;
+      }
+      next.push_back(sum);
+    }
+    state = std::move(next);
+  }
+
+  // Safety violation: value == k+1 at the final step (impossible).
+  const auto target = static_cast<std::uint64_t>(k) + 1;
+  for (int b = 0; b < n; ++b) {
+    const bool bit = ((target >> b) & 1u) != 0;
+    const Lit s = state[static_cast<std::size_t>(b)];
+    cnf.addClause({bit ? s : ~s});
+  }
+  return cnf;
+}
+
+}  // namespace msu

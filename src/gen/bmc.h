@@ -1,0 +1,28 @@
+/// \file bmc.h
+/// \brief Bounded model checking unrollings — the paper's model-checking
+///        instance class. A parameterized sequential design (an n-bit
+///        counter with an enable input) is unrolled for k steps with a
+///        safety property that holds, yielding unsatisfiable CNF whose
+///        refutation requires arithmetic reasoning across the unrolling.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.h"
+
+namespace msu {
+
+/// Parameters of a BMC counter instance.
+struct BmcCounterParams {
+  int bits = 6;    ///< register width
+  int steps = 10;  ///< unrolling depth k
+};
+
+/// Builds the BMC instance: an n-bit register starts at 0 and each step
+/// adds the (free) enable input bit. After k steps the value is at most
+/// k; asserting `value == k+1` at the final step is therefore
+/// unsatisfiable (requires k+1 < 2^bits, checked by assertion).
+[[nodiscard]] CnfFormula bmcCounterInstance(const BmcCounterParams& params);
+
+}  // namespace msu

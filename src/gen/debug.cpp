@@ -1,0 +1,109 @@
+#include "gen/debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace msu {
+
+DebugInstance designDebugInstance(const DebugParams& params, bool partial) {
+  std::mt19937_64 rng(params.seed);
+  DebugInstance inst;
+
+  const Circuit correct = randomCircuit(params.circuit);
+  const int internalGates = correct.numGates() - correct.numInputs();
+  assert(internalGates > 0);
+
+  // Pick error sites whose combined effect is observable on sampled
+  // vectors; re-draw if sampling never exposes them.
+  Circuit faulty;
+  std::vector<int> sites;
+  std::vector<std::vector<bool>> vectors;
+  std::vector<std::vector<bool>> correctOutputs;
+  const int numErrors = std::max(params.numErrors, 1);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    sites.clear();
+    faulty = correct;
+    while (static_cast<int>(sites.size()) < numErrors) {
+      const int site =
+          correct.numInputs() +
+          static_cast<int>(rng() % static_cast<std::uint64_t>(internalGates));
+      if (std::find(sites.begin(), sites.end(), site) != sites.end()) {
+        continue;
+      }
+      sites.push_back(site);
+      faulty = injectGateError(faulty, site);
+    }
+    vectors.clear();
+    correctOutputs.clear();
+    int mismatches = 0;
+    for (int tries = 0;
+         tries < 256 && static_cast<int>(vectors.size()) < params.numVectors;
+         ++tries) {
+      std::vector<bool> in(static_cast<std::size_t>(correct.numInputs()));
+      for (std::size_t i = 0; i < in.size(); ++i) in[i] = (rng() & 1) != 0;
+      const std::vector<bool> good = correct.evaluate(in);
+      const std::vector<bool> bad = faulty.evaluate(in);
+      const bool mismatch = good != bad;
+      // Prefer exposing vectors; accept matching ones once we have one.
+      if (mismatch || mismatches > 0) {
+        vectors.push_back(in);
+        correctOutputs.push_back(good);
+        if (mismatch) ++mismatches;
+      }
+    }
+    if (mismatches > 0 && static_cast<int>(vectors.size()) >=
+                              std::min(params.numVectors, 1)) {
+      inst.errorGate = sites.front();
+      inst.errorGates = sites;
+      inst.mismatchVectors = mismatches;
+      break;
+    }
+  }
+  assert(inst.errorGate >= 0 && "no observable error site found");
+
+  // Encode one copy of the faulty circuit per vector. Gate clauses are
+  // collected in a scratch CNF per copy so we can classify them soft.
+  WcnfFormula& wcnf = inst.wcnf;
+  for (std::size_t t = 0; t < vectors.size(); ++t) {
+    CnfFormula scratch;
+    std::vector<Var> inputVars;
+    std::vector<Lit> ioUnits;
+    for (int i = 0; i < faulty.numInputs(); ++i) {
+      const Var v = scratch.newVar();
+      inputVars.push_back(v);
+      ioUnits.push_back(Lit(v, !vectors[t][static_cast<std::size_t>(i)]));
+    }
+    const int gateClauseStart = scratch.numClauses();
+    const std::vector<Var> gv = tseitinEncodeInto(faulty, scratch, inputVars);
+    const int gateClauseEnd = scratch.numClauses();
+    for (std::size_t o = 0; o < faulty.outputs().size(); ++o) {
+      const Var ov = gv[static_cast<std::size_t>(faulty.outputs()[o])];
+      ioUnits.push_back(Lit(ov, !correctOutputs[t][o]));
+    }
+
+    // Import the scratch clauses with a variable offset.
+    const int offset = wcnf.numVars();
+    wcnf.ensureVars(offset + scratch.numVars());
+    auto shift = [offset](const Clause& c) {
+      Clause out;
+      out.reserve(c.size());
+      for (Lit p : c) out.push_back(Lit(p.var() + offset, p.negative()));
+      return out;
+    };
+    for (int ci = gateClauseStart; ci < gateClauseEnd; ++ci) {
+      wcnf.addSoft(shift(scratch.clause(ci)), 1);
+    }
+    for (Lit u : ioUnits) {
+      const Clause unit{Lit(u.var() + offset, u.negative())};
+      if (partial) {
+        wcnf.addHard(unit);
+      } else {
+        wcnf.addSoft(unit, 1);
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace msu

@@ -1,0 +1,44 @@
+/// \file debug.h
+/// \brief Design-debugging MaxSAT instances in the style of Safarpour et
+///        al. (FMCAD'07), the application motivating the paper: a
+///        circuit with an injected gate error is constrained by
+///        input/output vectors from the correct design. The constraints
+///        are inconsistent, and maximum satisfiability points at the
+///        erroneous gate (minimum number of gate clauses to give up).
+
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/wcnf.h"
+#include "gen/circuit.h"
+
+namespace msu {
+
+/// Parameters of a design-debugging instance.
+struct DebugParams {
+  RandomCircuitParams circuit;  ///< the correct design
+  int numVectors = 4;           ///< I/O vectors (at least one exposes a bug)
+  int numErrors = 1;            ///< injected gate errors (distinct sites)
+  std::uint64_t seed = 1;       ///< error-site + vector sampling seed
+};
+
+/// A generated design-debugging instance.
+struct DebugInstance {
+  WcnfFormula wcnf;        ///< hard I/O constraints + soft gate clauses
+  int errorGate = -1;      ///< the first injected error site (ground truth)
+  std::vector<int> errorGates;  ///< all injected sites
+  int mismatchVectors = 0; ///< vectors on which faulty != correct
+};
+
+/// Builds a design-debugging instance.
+///
+/// For each vector, a fresh CNF copy of the *faulty* circuit is
+/// constrained (hard) to the correct design's input/output behaviour;
+/// the gate-function clauses are soft. With `partial == false` the
+/// I/O constraints are soft too (plain MaxSAT, as evaluated in the
+/// paper's Table 2).
+[[nodiscard]] DebugInstance designDebugInstance(const DebugParams& params,
+                                                bool partial = true);
+
+}  // namespace msu

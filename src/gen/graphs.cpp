@@ -1,0 +1,204 @@
+#include "gen/graphs.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <random>
+#include <set>
+
+namespace msu {
+
+Graph randomGraph(int numVertices, double edgeProbability,
+                  std::uint64_t seed) {
+  assert(numVertices >= 0);
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(edgeProbability);
+  Graph g;
+  g.numVertices = numVertices;
+  for (int u = 0; u < numVertices; ++u) {
+    for (int v = u + 1; v < numVertices; ++v) {
+      if (coin(rng)) g.edges.emplace_back(u, v);
+    }
+  }
+  return g;
+}
+
+Graph ringWithChords(int numVertices, int extraChords, std::uint64_t seed) {
+  assert(numVertices >= 3);
+  std::mt19937_64 rng(seed);
+  Graph g;
+  g.numVertices = numVertices;
+  std::set<std::pair<int, int>> seen;
+  for (int v = 0; v < numVertices; ++v) {
+    const int u = (v + 1) % numVertices;
+    const auto e = std::minmax(u, v);
+    g.edges.emplace_back(e.first, e.second);
+    seen.insert(e);
+  }
+  int attempts = 8 * extraChords + 32;
+  while (extraChords > 0 && attempts-- > 0) {
+    const int u = static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
+    const int v = static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
+    if (u == v) continue;
+    const auto e = std::minmax(u, v);
+    if (!seen.insert(e).second) continue;
+    g.edges.emplace_back(e.first, e.second);
+    --extraChords;
+  }
+  return g;
+}
+
+WcnfFormula coloringInstance(const Graph& g, int k) {
+  assert(k >= 1);
+  WcnfFormula w(g.numVertices * k);
+  const auto var = [k](int v, int c) { return static_cast<Var>(v * k + c); };
+  for (int v = 0; v < g.numVertices; ++v) {
+    // Hard: at least one color ...
+    Clause atLeast;
+    for (int c = 0; c < k; ++c) atLeast.push_back(posLit(var(v, c)));
+    w.addHard(atLeast);
+    // ... and at most one (pairwise; k is small in practice).
+    for (int c1 = 0; c1 < k; ++c1) {
+      for (int c2 = c1 + 1; c2 < k; ++c2) {
+        w.addHard({negLit(var(v, c1)), negLit(var(v, c2))});
+      }
+    }
+  }
+  // Soft: one clause (¬u_c ∨ ¬v_c) per edge and color. A monochromatic
+  // edge falsifies exactly the clause of its shared color (the at-most-
+  // one constraint satisfies the others), so cost == #monochromatic
+  // edges.
+  for (const auto& [u, v] : g.edges) {
+    for (int c = 0; c < k; ++c) {
+      w.addSoft({negLit(var(u, c)), negLit(var(v, c))}, 1);
+    }
+  }
+  return w;
+}
+
+WcnfFormula maxCutInstance(const Graph& g, const std::vector<Weight>& weights) {
+  assert(weights.empty() || weights.size() == g.edges.size());
+  WcnfFormula w(g.numVertices);
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    const auto [u, v] = g.edges[i];
+    const Weight wt = weights.empty() ? 1 : weights[i];
+    w.addSoft({posLit(static_cast<Var>(u)), posLit(static_cast<Var>(v))}, wt);
+    w.addSoft({negLit(static_cast<Var>(u)), negLit(static_cast<Var>(v))}, wt);
+  }
+  return w;
+}
+
+WcnfFormula vertexCoverInstance(const Graph& g) {
+  WcnfFormula w(g.numVertices);
+  for (const auto& [u, v] : g.edges) {
+    w.addHard({posLit(static_cast<Var>(u)), posLit(static_cast<Var>(v))});
+  }
+  for (int v = 0; v < g.numVertices; ++v) {
+    w.addSoft({negLit(static_cast<Var>(v))}, 1);
+  }
+  return w;
+}
+
+WcnfFormula timetablingInstance(const TimetableParams& params) {
+  assert(params.numSlots >= 1 && params.numEvents >= 1);
+  std::mt19937_64 rng(params.seed);
+  const int e = params.numEvents;
+  const int s = params.numSlots;
+  WcnfFormula w(e * s);
+  const auto var = [s](int event, int slot) {
+    return static_cast<Var>(event * s + slot);
+  };
+  for (int ev = 0; ev < e; ++ev) {
+    Clause atLeast;
+    for (int slot = 0; slot < s; ++slot) {
+      atLeast.push_back(posLit(var(ev, slot)));
+    }
+    w.addHard(atLeast);
+    for (int s1 = 0; s1 < s; ++s1) {
+      for (int s2 = s1 + 1; s2 < s; ++s2) {
+        w.addHard({negLit(var(ev, s1)), negLit(var(ev, s2))});
+      }
+    }
+  }
+  std::bernoulli_distribution clash(params.conflictProbability);
+  for (int e1 = 0; e1 < e; ++e1) {
+    for (int e2 = e1 + 1; e2 < e; ++e2) {
+      if (!clash(rng)) continue;
+      for (int slot = 0; slot < s; ++slot) {
+        w.addHard({negLit(var(e1, slot)), negLit(var(e2, slot))});
+      }
+    }
+  }
+  for (int ev = 0; ev < e; ++ev) {
+    for (int p = 0; p < params.preferencesPerEvent; ++p) {
+      const int slot = static_cast<int>(rng() % static_cast<std::uint64_t>(s));
+      const Weight weight =
+          1 + static_cast<Weight>(
+                  rng() % static_cast<std::uint64_t>(params.maxPreferenceWeight));
+      w.addSoft({posLit(var(ev, slot))}, weight);
+    }
+  }
+  return w;
+}
+
+int chromaticPenaltyBruteForce(const Graph& g, int k) {
+  assert(g.numVertices <= 16);
+  std::vector<int> color(static_cast<std::size_t>(g.numVertices), 0);
+  int best = static_cast<int>(g.edges.size()) + 1;
+  const auto evaluate = [&] {
+    int clashes = 0;
+    for (const auto& [u, v] : g.edges) {
+      if (color[static_cast<std::size_t>(u)] ==
+          color[static_cast<std::size_t>(v)]) {
+        ++clashes;
+      }
+    }
+    return clashes;
+  };
+  // Odometer over k^n colorings.
+  while (true) {
+    best = std::min(best, evaluate());
+    int pos = 0;
+    while (pos < g.numVertices) {
+      if (++color[static_cast<std::size_t>(pos)] < k) break;
+      color[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == g.numVertices) break;
+  }
+  return best;
+}
+
+Weight maxCutBruteForce(const Graph& g, const std::vector<Weight>& weights) {
+  assert(g.numVertices <= 24);
+  Weight best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << g.numVertices); ++mask) {
+    Weight cut = 0;
+    for (std::size_t i = 0; i < g.edges.size(); ++i) {
+      const auto [u, v] = g.edges[i];
+      const bool du = ((mask >> u) & 1u) != 0;
+      const bool dv = ((mask >> v) & 1u) != 0;
+      if (du != dv) cut += weights.empty() ? 1 : weights[i];
+    }
+    best = std::max(best, cut);
+  }
+  return best;
+}
+
+int vertexCoverBruteForce(const Graph& g) {
+  assert(g.numVertices <= 24);
+  int best = g.numVertices;
+  for (std::uint32_t mask = 0; mask < (1u << g.numVertices); ++mask) {
+    bool covers = true;
+    for (const auto& [u, v] : g.edges) {
+      if (((mask >> u) & 1u) == 0 && ((mask >> v) & 1u) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) best = std::min(best, std::popcount(mask));
+  }
+  return best;
+}
+
+}  // namespace msu

@@ -1,0 +1,84 @@
+/// \file graphs.h
+/// \brief Graph-optimization MaxSAT generators: graph coloring, max-cut
+///        and minimum vertex cover. The paper's introduction motivates
+///        MaxSAT with scheduling and routing workloads; these are their
+///        canonical graph kernels (frequency assignment = coloring,
+///        register allocation = coloring, layout netlength = max-cut),
+///        and they exercise partial *and* weighted MaxSAT paths the EDA
+///        generators do not.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/wcnf.h"
+
+namespace msu {
+
+/// An undirected graph as an edge list over vertices `0..numVertices-1`.
+struct Graph {
+  int numVertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Erdős–Rényi G(n, p) sampler (no self-loops, no duplicate edges).
+[[nodiscard]] Graph randomGraph(int numVertices, double edgeProbability,
+                                std::uint64_t seed);
+
+/// Random connected "ring + chords" graph: a Hamiltonian cycle plus
+/// `extraChords` random chords — structured, guaranteed connected.
+[[nodiscard]] Graph ringWithChords(int numVertices, int extraChords,
+                                   std::uint64_t seed);
+
+/// Graph k-coloring as partial MaxSAT: hard one-color-per-vertex
+/// constraints, one soft clause per edge asking its endpoints to differ.
+/// Optimum cost == minimum number of monochromatic edges over all
+/// k-colorings (0 iff the graph is k-colorable).
+///
+/// Variable layout: vertex v, color c -> variable `v*k + c`.
+[[nodiscard]] WcnfFormula coloringInstance(const Graph& g, int k);
+
+/// Max-cut as plain MaxSAT: one variable per vertex (side of the cut),
+/// two soft clauses per edge `(u ∨ v)`, `(¬u ∨ ¬v)` — an edge inside a
+/// part falsifies exactly one of them. With edge weights, both clauses
+/// carry the edge's weight. Optimum cost == total weight - max cut.
+[[nodiscard]] WcnfFormula maxCutInstance(const Graph& g,
+                                         const std::vector<Weight>& weights = {});
+
+/// Minimum vertex cover as partial MaxSAT: hard edge-coverage clauses
+/// `(u ∨ v)`, soft unit clauses `(¬v)` (prefer leaving vertices out).
+/// Optimum cost == size of a minimum vertex cover.
+[[nodiscard]] WcnfFormula vertexCoverInstance(const Graph& g);
+
+/// Parameters of a timetabling (scheduling) instance.
+struct TimetableParams {
+  int numEvents = 12;
+  int numSlots = 4;
+  double conflictProbability = 0.3;  ///< chance two events clash
+  int preferencesPerEvent = 2;       ///< soft slot preferences
+  Weight maxPreferenceWeight = 5;
+  std::uint64_t seed = 1;
+};
+
+/// Timetabling as weighted partial MaxSAT (the paper's "scheduling"
+/// motivation): every event takes exactly one slot (hard), conflicting
+/// events never share a slot (hard), and each event carries weighted
+/// soft preferences for specific slots. Optimum cost == minimum total
+/// preference weight that must be given up.
+///
+/// Variable layout: event e, slot s -> variable `e*numSlots + s`.
+[[nodiscard]] WcnfFormula timetablingInstance(const TimetableParams& params);
+
+/// Exhaustive minimum number of monochromatic edges over k-colorings
+/// (reference for tests; exponential in numVertices).
+[[nodiscard]] int chromaticPenaltyBruteForce(const Graph& g, int k);
+
+/// Exhaustive max-cut weight (reference for tests).
+[[nodiscard]] Weight maxCutBruteForce(const Graph& g,
+                                      const std::vector<Weight>& weights = {});
+
+/// Exhaustive minimum vertex cover size (reference for tests).
+[[nodiscard]] int vertexCoverBruteForce(const Graph& g);
+
+}  // namespace msu

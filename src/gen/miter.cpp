@@ -1,0 +1,43 @@
+#include "gen/miter.h"
+
+#include <cassert>
+
+namespace msu {
+
+CnfFormula buildMiter(const Circuit& left, const Circuit& right) {
+  assert(left.numInputs() == right.numInputs());
+  assert(left.outputs().size() == right.outputs().size());
+  CnfFormula cnf;
+  std::vector<Var> inputs;
+  inputs.reserve(static_cast<std::size_t>(left.numInputs()));
+  for (int i = 0; i < left.numInputs(); ++i) inputs.push_back(cnf.newVar());
+
+  const std::vector<Var> lv = tseitinEncodeInto(left, cnf, inputs);
+  const std::vector<Var> rv = tseitinEncodeInto(right, cnf, inputs);
+
+  Clause someDiff;
+  for (std::size_t o = 0; o < left.outputs().size(); ++o) {
+    const Lit a = posLit(lv[static_cast<std::size_t>(
+        left.outputs()[o])]);
+    const Lit b = posLit(rv[static_cast<std::size_t>(
+        right.outputs()[o])]);
+    const Lit x = posLit(cnf.newVar());
+    // x <-> a XOR b
+    cnf.addClause({~x, a, b});
+    cnf.addClause({~x, ~a, ~b});
+    cnf.addClause({x, ~a, b});
+    cnf.addClause({x, a, ~b});
+    someDiff.push_back(x);
+  }
+  cnf.addClause(std::move(someDiff));
+  return cnf;
+}
+
+CnfFormula equivalenceInstance(const RandomCircuitParams& params,
+                               std::uint64_t rewriteSeed) {
+  const Circuit c = randomCircuit(params);
+  const Circuit r = rewriteCircuit(c, rewriteSeed);
+  return buildMiter(c, r);
+}
+
+}  // namespace msu

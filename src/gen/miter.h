@@ -1,0 +1,28 @@
+/// \file miter.h
+/// \brief Equivalence-checking miters: CNF instances asserting that two
+///        circuits differ on some input — unsatisfiable exactly when the
+///        circuits are equivalent. Paired with `rewriteCircuit` this
+///        produces the paper's equivalence-checking instance class.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.h"
+#include "gen/circuit.h"
+
+namespace msu {
+
+/// Builds the miter CNF of two circuits with identical interfaces:
+/// shared inputs, XOR per output pair, and a final clause asserting some
+/// XOR is 1. UNSAT iff the circuits are equivalent.
+[[nodiscard]] CnfFormula buildMiter(const Circuit& left,
+                                    const Circuit& right);
+
+/// Convenience: a complete equivalence-checking instance — a random
+/// circuit mitered against a semantics-preserving rewrite of itself.
+/// Always unsatisfiable.
+[[nodiscard]] CnfFormula equivalenceInstance(const RandomCircuitParams& params,
+                                             std::uint64_t rewriteSeed);
+
+}  // namespace msu

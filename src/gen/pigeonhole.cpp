@@ -1,0 +1,27 @@
+#include "gen/pigeonhole.h"
+
+namespace msu {
+
+CnfFormula pigeonhole(int pigeons, int holes) {
+  CnfFormula cnf(pigeons * holes);
+  const auto var = [holes](int pigeon, int hole) -> Var {
+    return pigeon * holes + hole;
+  };
+  // Each pigeon sits somewhere.
+  for (int i = 0; i < pigeons; ++i) {
+    Clause c;
+    for (int j = 0; j < holes; ++j) c.push_back(posLit(var(i, j)));
+    cnf.addClause(std::move(c));
+  }
+  // No hole hosts two pigeons.
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        cnf.addClause({negLit(var(i1, j)), negLit(var(i2, j))});
+      }
+    }
+  }
+  return cnf;
+}
+
+}  // namespace msu

@@ -1,0 +1,25 @@
+/// \file pigeonhole.h
+/// \brief Pigeonhole-principle formulas PHP(p, h): p pigeons, h holes,
+///        unsatisfiable when p > h. A classic resolution-hard control
+///        family: hard for every solver, with known MaxSAT optima that
+///        make good test oracles.
+
+#pragma once
+
+#include "cnf/formula.h"
+
+namespace msu {
+
+/// PHP(pigeons, holes): variable x_{i,j} = pigeon i sits in hole j.
+/// Clauses: each pigeon in some hole (p clauses); no two pigeons share a
+/// hole (h * C(p,2) clauses). Unsatisfiable iff pigeons > holes.
+[[nodiscard]] CnfFormula pigeonhole(int pigeons, int holes);
+
+/// MaxSAT optimum cost (minimum falsified clauses) of PHP(h+1, h):
+/// exactly 1 — dropping one "pigeon in some hole" clause leaves a
+/// satisfiable formula, and no assignment satisfies everything.
+[[nodiscard]] inline int pigeonholeOptCost(int holes) {
+  return holes >= 1 ? 1 : 0;
+}
+
+}  // namespace msu

@@ -1,0 +1,42 @@
+#include "gen/random_cnf.h"
+
+#include <algorithm>
+#include <random>
+
+namespace msu {
+
+CnfFormula randomKSat(const RandomCnfParams& params) {
+  CnfFormula cnf(params.numVars);
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<Var> pickVar(0, params.numVars - 1);
+  Clause c;
+  for (int i = 0; i < params.numClauses; ++i) {
+    c.clear();
+    // Draw distinct variables.
+    while (static_cast<int>(c.size()) < params.clauseLen) {
+      const Var v = pickVar(rng);
+      bool dup = false;
+      for (Lit p : c) {
+        if (p.var() == v) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      c.push_back(Lit(v, (rng() & 1) != 0));
+    }
+    cnf.addClause(Clause(c));
+  }
+  return cnf;
+}
+
+CnfFormula randomUnsat3Sat(int numVars, double ratio, std::uint64_t seed) {
+  RandomCnfParams p;
+  p.numVars = numVars;
+  p.numClauses = static_cast<int>(static_cast<double>(numVars) * ratio);
+  p.clauseLen = 3;
+  p.seed = seed;
+  return randomKSat(p);
+}
+
+}  // namespace msu

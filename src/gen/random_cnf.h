@@ -1,0 +1,33 @@
+/// \file random_cnf.h
+/// \brief Random CNF instance generators: uniform k-SAT (used
+///        over-constrained to obtain unsatisfiable MaxSAT instances, the
+///        classic B&B-friendly workload) and helpers.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/formula.h"
+
+namespace msu {
+
+/// Parameters of a uniform random k-SAT instance.
+struct RandomCnfParams {
+  int numVars = 50;
+  int numClauses = 300;
+  int clauseLen = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a uniform random k-SAT formula: each clause draws
+/// `clauseLen` distinct variables and random polarities. Tautologies and
+/// duplicate clauses are permitted (as in the standard model).
+[[nodiscard]] CnfFormula randomKSat(const RandomCnfParams& params);
+
+/// Generates an over-constrained random 3-SAT instance (clause/variable
+/// ratio about `ratio`, default well above the phase transition so the
+/// instance is almost surely unsatisfiable).
+[[nodiscard]] CnfFormula randomUnsat3Sat(int numVars, double ratio,
+                                         std::uint64_t seed);
+
+}  // namespace msu

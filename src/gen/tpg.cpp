@@ -1,0 +1,135 @@
+#include "gen/tpg.h"
+
+#include <cassert>
+#include <random>
+
+namespace msu {
+
+CnfFormula buildTpgMiter(const Circuit& circuit, const StuckAtFault& fault) {
+  assert(fault.gate >= 0 && fault.gate < circuit.numGates());
+  CnfFormula cnf;
+  std::vector<Var> inputs;
+  for (int i = 0; i < circuit.numInputs(); ++i) inputs.push_back(cnf.newVar());
+
+  // Fault-free copy.
+  const std::vector<Var> good = tseitinEncodeInto(circuit, cnf, inputs);
+
+  // Faulty copy: encode gates after the fault site against a variable
+  // pinned to the stuck value at the site. Gates before (and including)
+  // the site reuse the fault-free copy's variables — standard fault-cone
+  // sharing in ATPG encodings.
+  std::vector<Var> bad = good;
+  const Var stuck = cnf.newVar();
+  cnf.addClause({Lit(stuck, !fault.stuckAt)});  // pin to the stuck value
+  bad[static_cast<std::size_t>(fault.gate)] = stuck;
+
+  // Re-encode every gate downstream of the fault with fresh variables.
+  std::vector<char> touched(static_cast<std::size_t>(circuit.numGates()), 0);
+  touched[static_cast<std::size_t>(fault.gate)] = 1;
+  for (int g = circuit.numInputs(); g < circuit.numGates(); ++g) {
+    if (g == fault.gate) continue;
+    const Gate& gate = circuit.gate(g);
+    bool downstream = false;
+    for (int f : gate.fanin) {
+      if (touched[static_cast<std::size_t>(f)]) {
+        downstream = true;
+        break;
+      }
+    }
+    if (!downstream) continue;
+    touched[static_cast<std::size_t>(g)] = 1;
+    // Fresh variable + Tseitin clauses over the faulty-copy fanin vars.
+    const Var out = cnf.newVar();
+    bad[static_cast<std::size_t>(g)] = out;
+    // Reuse the circuit encoder by building a tiny one-gate circuit view:
+    // emit the gate clauses directly through a single-gate encode.
+    Circuit one(static_cast<int>(gate.fanin.size()));
+    std::vector<int> localIns;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      localIns.push_back(static_cast<int>(i));
+    }
+    one.addGate(gate.type, localIns);
+    std::vector<Var> map;
+    for (int f : gate.fanin) map.push_back(bad[static_cast<std::size_t>(f)]);
+    // tseitinEncodeInto allocates the gate's output var itself; to pin it
+    // to `out`, encode then add equivalence clauses.
+    const std::vector<Var> gv = tseitinEncodeInto(one, cnf, map);
+    const Var enc = gv.back();
+    cnf.addClause({posLit(enc), negLit(out)});
+    cnf.addClause({negLit(enc), posLit(out)});
+  }
+
+  // Some output must differ.
+  Clause someDiff;
+  for (int o : circuit.outputs()) {
+    const Lit a = posLit(good[static_cast<std::size_t>(o)]);
+    const Lit b = posLit(bad[static_cast<std::size_t>(o)]);
+    const Lit x = posLit(cnf.newVar());
+    cnf.addClause({~x, a, b});
+    cnf.addClause({~x, ~a, ~b});
+    cnf.addClause({x, ~a, b});
+    cnf.addClause({x, a, ~b});
+    someDiff.push_back(x);
+  }
+  cnf.addClause(std::move(someDiff));
+  return cnf;
+}
+
+std::vector<int> deadGates(const Circuit& circuit) {
+  std::vector<char> live(static_cast<std::size_t>(circuit.numGates()), 0);
+  std::vector<int> stack(circuit.outputs().begin(), circuit.outputs().end());
+  while (!stack.empty()) {
+    const int g = stack.back();
+    stack.pop_back();
+    if (live[static_cast<std::size_t>(g)]) continue;
+    live[static_cast<std::size_t>(g)] = 1;
+    for (int f : circuit.gate(g).fanin) stack.push_back(f);
+  }
+  std::vector<int> dead;
+  for (int g = circuit.numInputs(); g < circuit.numGates(); ++g) {
+    if (!live[static_cast<std::size_t>(g)]) dead.push_back(g);
+  }
+  return dead;
+}
+
+RedundantFaultCircuit redundantFaultCircuit(const RandomCircuitParams& params,
+                                            std::uint64_t spliceSeed) {
+  Circuit circuit = randomCircuit(params);
+  std::mt19937_64 rng(spliceSeed);
+
+  // Append a structurally different but equivalent copy of the whole
+  // circuit: the redundancy proof below then embeds an equivalence
+  // check, so refuting the fault requires real reasoning (a fault on
+  // `o | (o & g)` alone would be propagation-trivial).
+  const Circuit rewritten = rewriteCircuit(circuit, spliceSeed + 1);
+  const std::size_t numOuts = circuit.outputs().size();
+  const std::vector<int> remap = appendCircuit(circuit, rewritten);
+
+  std::vector<int> outs = circuit.outputs();
+  assert(!outs.empty());
+  const std::size_t which = rng() % numOuts;
+  const int o = outs[which];
+  const int oPrime =
+      remap[static_cast<std::size_t>(rewritten.outputs()[which])];
+  // A side signal from anywhere in the combined netlist.
+  const int g = static_cast<int>(
+      rng() % static_cast<std::uint64_t>(circuit.numGates()));
+  const int h = circuit.addGate(GateType::And, {oPrime, g});
+  const int r = circuit.addGate(GateType::Or, {o, h});
+  outs[which] = r;  // out = o | (o' & g) == o  since o' == o (absorption)
+  circuit.setOutputs(std::move(outs));
+
+  RedundantFaultCircuit result;
+  result.circuit = std::move(circuit);
+  result.untestable = StuckAtFault{h, false};  // s-a-0: masked by absorption
+  result.testable = StuckAtFault{h, true};     // s-a-1: exposed when o == 0
+  return result;
+}
+
+CnfFormula untestableFaultInstance(const RandomCircuitParams& params,
+                                   std::uint64_t faultSeed) {
+  const RedundantFaultCircuit rf = redundantFaultCircuit(params, faultSeed);
+  return buildTpgMiter(rf.circuit, rf.untestable);
+}
+
+}  // namespace msu

@@ -1,0 +1,56 @@
+/// \file tpg.h
+/// \brief Test-pattern-generation (TPG) instances — the third EDA
+///        instance class the paper's suite draws from. A stuck-at fault
+///        is injected into a circuit and the TPG miter asks for an input
+///        vector that distinguishes faulty from fault-free behaviour.
+///        For *untestable* (redundant) faults — here: faults on logic
+///        outside every output cone — the miter is unsatisfiable, which
+///        is exactly the hard UNSAT class ATPG tools hand to SAT solvers.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cnf/formula.h"
+#include "gen/circuit.h"
+
+namespace msu {
+
+/// A stuck-at fault site.
+struct StuckAtFault {
+  int gate = -1;     ///< faulted gate id
+  bool stuckAt = false;  ///< forced value
+};
+
+/// Builds the TPG miter for `fault` in `circuit`: fault-free and faulty
+/// copies share inputs; some output must differ. Satisfiable iff the
+/// fault is testable.
+[[nodiscard]] CnfFormula buildTpgMiter(const Circuit& circuit,
+                                       const StuckAtFault& fault);
+
+/// Gates with no path to any primary output (trivially untestable
+/// sites), in increasing id order.
+[[nodiscard]] std::vector<int> deadGates(const Circuit& circuit);
+
+/// A circuit with a deliberately *redundant* fault site: one output `o`
+/// is rewritten as `OR(o, AND(o, g))` (absorption), so stuck-at-0 on the
+/// inserted AND gate never changes any output — untestable, and proving
+/// it requires reasoning through the shared logic cone (unlike a fault
+/// on dead logic, which is structurally trivial).
+struct RedundantFaultCircuit {
+  Circuit circuit;
+  StuckAtFault untestable;  ///< stuck-at-0 on the absorption AND
+  StuckAtFault testable;    ///< stuck-at-1 on the same gate (usually SAT)
+};
+
+/// Builds the absorption-redundancy construction on a random circuit.
+[[nodiscard]] RedundantFaultCircuit redundantFaultCircuit(
+    const RandomCircuitParams& params, std::uint64_t spliceSeed);
+
+/// Generates an *unsatisfiable* TPG instance: the miter of the
+/// redundant (untestable) fault.
+[[nodiscard]] CnfFormula untestableFaultInstance(
+    const RandomCircuitParams& params, std::uint64_t faultSeed);
+
+}  // namespace msu

@@ -1,0 +1,89 @@
+#include "harness/factory.h"
+
+#include "bnb/bnb_solver.h"
+#include "core/binary_search.h"
+#include "core/bmo.h"
+#include "core/linear_search.h"
+#include "core/msu1.h"
+#include "core/msu3.h"
+#include "core/msu4.h"
+#include "core/oll.h"
+#include "core/wlinear.h"
+#include "core/wmsu1.h"
+#include "pbo/maxsat_pbo.h"
+
+namespace msu {
+
+std::vector<std::string> solverNames() {
+  return {"msu4-v1", "msu4-v2", "msu4-seq",  "msu4-tot", "msu4-cnet", "msu3",
+          "msu1",    "wmsu1",   "oll",       "bmo",       "linear",   "wlinear",
+          "wlinear-adder",      "binary",    "pbo",      "pbo-adder",
+          "maxsatz"};
+}
+
+std::unique_ptr<MaxSatSolver> makeSolver(const std::string& name,
+                                         const MaxSatOptions& options) {
+  MaxSatOptions o = options;
+  if (name == "msu4-v1") {
+    o.encoding = CardEncoding::Bdd;
+    return std::make_unique<Msu4Solver>(o);
+  }
+  if (name == "msu4-v2") {
+    o.encoding = CardEncoding::Sorter;
+    return std::make_unique<Msu4Solver>(o);
+  }
+  if (name == "msu4-seq") {
+    o.encoding = CardEncoding::Sequential;
+    return std::make_unique<Msu4Solver>(o);
+  }
+  if (name == "msu4-tot") {
+    o.encoding = CardEncoding::Totalizer;
+    return std::make_unique<Msu4Solver>(o);
+  }
+  if (name == "msu4-cnet") {
+    o.encoding = CardEncoding::CardNet;
+    return std::make_unique<Msu4Solver>(o);
+  }
+  if (name == "msu3") {
+    o.encoding = CardEncoding::Totalizer;
+    return std::make_unique<Msu3Solver>(o);
+  }
+  if (name == "msu1") {
+    return std::make_unique<Msu1Solver>(o);
+  }
+  if (name == "wmsu1") {
+    return std::make_unique<Wmsu1Solver>(o);
+  }
+  if (name == "oll") {
+    return std::make_unique<OllSolver>(o);
+  }
+  if (name == "bmo") {
+    return std::make_unique<BmoSolver>(o);
+  }
+  if (name == "linear") {
+    return std::make_unique<LinearSearchSolver>(o);
+  }
+  if (name == "wlinear" || name == "wlinear-adder") {
+    const PbEncoding pe =
+        name == "wlinear" ? PbEncoding::Bdd : PbEncoding::Adder;
+    return std::make_unique<WeightedLinearSolver>(o, pe);
+  }
+  if (name == "binary") {
+    return std::make_unique<BinarySearchSolver>(o);
+  }
+  if (name == "pbo" || name == "pbo-adder") {
+    PboMaxSatOptions po;
+    po.budget = options.budget;
+    po.sat = options.sat;
+    po.encoding = name == "pbo" ? PbEncoding::Bdd : PbEncoding::Adder;
+    return std::make_unique<PboMaxSatSolver>(po);
+  }
+  if (name == "maxsatz") {
+    BnbOptions bo;
+    bo.budget = options.budget;
+    return std::make_unique<BnbSolver>(bo);
+  }
+  return nullptr;
+}
+
+}  // namespace msu

@@ -1,0 +1,29 @@
+/// \file factory.h
+/// \brief Name-based construction of every MaxSAT engine in the library,
+///        used by the CLI example and the experiment harness. Names map
+///        to the columns of the paper's tables: "maxsatz" (our B&B),
+///        "pbo" (the PBO formulation), "msu4-v1", "msu4-v2".
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/maxsat.h"
+
+namespace msu {
+
+/// All engine names accepted by makeSolver().
+[[nodiscard]] std::vector<std::string> solverNames();
+
+/// Creates an engine by name; nullptr for unknown names.
+///
+/// Names: "msu4-v1", "msu4-v2", "msu4-seq", "msu4-tot", "msu3", "msu1",
+/// "linear", "binary", "pbo", "pbo-adder", "maxsatz".
+/// `options.budget` applies to every engine; the cardinality-encoding
+/// option is overridden by names that pin one (msu4-v1/v2/seq/tot).
+[[nodiscard]] std::unique_ptr<MaxSatSolver> makeSolver(
+    const std::string& name, const MaxSatOptions& options = {});
+
+}  // namespace msu

@@ -1,0 +1,75 @@
+#include "harness/runner.h"
+
+#include <chrono>
+#include <iostream>
+#include <map>
+
+#include "harness/factory.h"
+
+namespace msu {
+
+std::vector<RunRecord> runSolver(const std::string& solverName,
+                                 std::span<const Instance> suite,
+                                 const RunConfig& config) {
+  std::vector<RunRecord> records;
+  records.reserve(suite.size());
+  for (const Instance& inst : suite) {
+    MaxSatOptions opts;
+    opts.budget = Budget::wallClock(config.timeoutSeconds);
+    std::unique_ptr<MaxSatSolver> solver = makeSolver(solverName, opts);
+    if (!solver) {
+      std::cerr << "unknown solver name: " << solverName << '\n';
+      break;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const MaxSatResult res = solver->solve(inst.wcnf);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunRecord rec;
+    rec.solver = solverName;
+    rec.instance = inst.name;
+    rec.family = inst.family;
+    rec.status = res.status;
+    rec.cost = res.cost;
+    rec.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rec.aborted = res.status == MaxSatStatus::Unknown;
+    if (config.verbose) {
+      std::cout << solverName << ' ' << inst.name << ' '
+                << toString(rec.status) << " cost=" << rec.cost
+                << " t=" << rec.seconds << "s\n";
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<RunRecord> runMatrix(std::span<const std::string> solverNames,
+                                 std::span<const Instance> suite,
+                                 const RunConfig& config) {
+  std::vector<RunRecord> all;
+  for (const std::string& name : solverNames) {
+    std::vector<RunRecord> rs = runSolver(name, suite, config);
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  return all;
+}
+
+int crossCheckOptima(std::span<const RunRecord> records,
+                     std::ostream& diagnostics) {
+  std::map<std::string, std::pair<std::string, Weight>> firstOptimum;
+  int disagreements = 0;
+  for (const RunRecord& r : records) {
+    if (r.status != MaxSatStatus::Optimum) continue;
+    auto [it, inserted] =
+        firstOptimum.try_emplace(r.instance, r.solver, r.cost);
+    if (!inserted && it->second.second != r.cost) {
+      ++disagreements;
+      diagnostics << "OPTIMUM DISAGREEMENT on " << r.instance << ": "
+                  << it->second.first << " says " << it->second.second
+                  << ", " << r.solver << " says " << r.cost << '\n';
+    }
+  }
+  return disagreements;
+}
+
+}  // namespace msu

@@ -1,0 +1,52 @@
+/// \file runner.h
+/// \brief Runs solver/instance matrices with per-instance budgets and
+///        collects the records behind the paper's tables and scatter
+///        plots ("aborted instances" accounting).
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/maxsat.h"
+#include "harness/suite.h"
+
+namespace msu {
+
+/// One (solver, instance) measurement.
+struct RunRecord {
+  std::string solver;
+  std::string instance;
+  std::string family;
+  MaxSatStatus status = MaxSatStatus::Unknown;
+  Weight cost = 0;       ///< valid when status == Optimum
+  double seconds = 0.0;  ///< wall-clock time of the solve call
+  bool aborted = false;  ///< budget exhausted before an answer
+};
+
+/// Per-run configuration.
+struct RunConfig {
+  double timeoutSeconds = 1.0;  ///< per-instance budget (the paper: 1000 s)
+  bool verbose = false;         ///< stream one line per run to stdout
+};
+
+/// Runs one engine (constructed fresh per instance via the factory name)
+/// over the suite.
+[[nodiscard]] std::vector<RunRecord> runSolver(
+    const std::string& solverName, std::span<const Instance> suite,
+    const RunConfig& config);
+
+/// Runs several engines over the suite, concatenating records.
+[[nodiscard]] std::vector<RunRecord> runMatrix(
+    std::span<const std::string> solverNames, std::span<const Instance> suite,
+    const RunConfig& config);
+
+/// Cross-checks that every pair of Optimum records for the same instance
+/// agrees on the cost; returns the number of disagreements (also writes
+/// a diagnostic line per disagreement to `diagnostics`).
+int crossCheckOptima(std::span<const RunRecord> records,
+                     std::ostream& diagnostics);
+
+}  // namespace msu

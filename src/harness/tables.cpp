@@ -1,0 +1,161 @@
+#include "harness/tables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace msu {
+namespace {
+
+struct SolverAgg {
+  int total = 0;
+  int aborted = 0;
+  int solved = 0;
+  double totalSeconds = 0.0;
+};
+
+std::map<std::string, SolverAgg> aggregate(
+    std::span<const RunRecord> records) {
+  std::map<std::string, SolverAgg> by;
+  for (const RunRecord& r : records) {
+    SolverAgg& a = by[r.solver];
+    ++a.total;
+    a.totalSeconds += r.seconds;
+    if (r.aborted) {
+      ++a.aborted;
+    } else {
+      ++a.solved;
+    }
+  }
+  return by;
+}
+
+}  // namespace
+
+void printAbortedTable(std::ostream& out, std::span<const RunRecord> records,
+                       std::span<const std::string> solverOrder,
+                       const std::string& title) {
+  const std::map<std::string, SolverAgg> by = aggregate(records);
+  out << title << '\n';
+  out << std::left << std::setw(14) << "solver" << std::right << std::setw(8)
+      << "total" << std::setw(10) << "aborted" << std::setw(9) << "solved"
+      << std::setw(12) << "mean t[s]" << '\n';
+  for (const std::string& name : solverOrder) {
+    const auto it = by.find(name);
+    if (it == by.end()) continue;
+    const SolverAgg& a = it->second;
+    out << std::left << std::setw(14) << name << std::right << std::setw(8)
+        << a.total << std::setw(10) << a.aborted << std::setw(9) << a.solved
+        << std::setw(12) << std::fixed << std::setprecision(3)
+        << (a.total > 0 ? a.totalSeconds / a.total : 0.0) << '\n';
+  }
+}
+
+void printFamilyBreakdown(std::ostream& out,
+                          std::span<const RunRecord> records,
+                          std::span<const std::string> solverOrder) {
+  std::set<std::string> families;
+  for (const RunRecord& r : records) families.insert(r.family);
+
+  out << "\nAborted instances by family:\n";
+  out << std::left << std::setw(14) << "solver";
+  for (const std::string& f : families) {
+    out << std::right << std::setw(14) << f;
+  }
+  out << '\n';
+  for (const std::string& name : solverOrder) {
+    out << std::left << std::setw(14) << name;
+    for (const std::string& f : families) {
+      int aborted = 0;
+      int total = 0;
+      for (const RunRecord& r : records) {
+        if (r.solver != name || r.family != f) continue;
+        ++total;
+        if (r.aborted) ++aborted;
+      }
+      std::string cell =
+          std::to_string(aborted) + "/" + std::to_string(total);
+      out << std::right << std::setw(14) << cell;
+    }
+    out << '\n';
+  }
+}
+
+std::vector<ScatterPoint> makeScatter(std::span<const RunRecord> records,
+                                      const std::string& xSolver,
+                                      const std::string& ySolver) {
+  std::map<std::string, const RunRecord*> xs;
+  std::map<std::string, const RunRecord*> ys;
+  for (const RunRecord& r : records) {
+    if (r.solver == xSolver) xs[r.instance] = &r;
+    if (r.solver == ySolver) ys[r.instance] = &r;
+  }
+  std::vector<ScatterPoint> points;
+  for (const auto& [name, xr] : xs) {
+    const auto it = ys.find(name);
+    if (it == ys.end()) continue;
+    ScatterPoint p;
+    p.instance = name;
+    p.family = xr->family;
+    p.xSeconds = xr->seconds;
+    p.ySeconds = it->second->seconds;
+    p.xAborted = xr->aborted;
+    p.yAborted = it->second->aborted;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void writeScatterCsv(std::ostream& out, std::span<const ScatterPoint> points,
+                     const std::string& xName, const std::string& yName) {
+  out << "instance,family," << xName << "_seconds," << yName << "_seconds,"
+      << xName << "_aborted," << yName << "_aborted\n";
+  for (const ScatterPoint& p : points) {
+    out << p.instance << ',' << p.family << ',' << p.xSeconds << ','
+        << p.ySeconds << ',' << (p.xAborted ? 1 : 0) << ','
+        << (p.yAborted ? 1 : 0) << '\n';
+  }
+}
+
+void printScatterSummary(std::ostream& out,
+                         std::span<const ScatterPoint> points,
+                         const std::string& xName, const std::string& yName) {
+  int xWins = 0;
+  int yWins = 0;
+  int xAborted = 0;
+  int yAborted = 0;
+  int bothSolved = 0;
+  double logRatioSum = 0.0;
+  constexpr double kFloor = 1e-4;  // clamp for the geometric mean
+  for (const ScatterPoint& p : points) {
+    if (p.xAborted) ++xAborted;
+    if (p.yAborted) ++yAborted;
+    if (p.xAborted && !p.yAborted) ++yWins;
+    if (!p.xAborted && p.yAborted) ++xWins;
+    if (p.xAborted || p.yAborted) continue;
+    ++bothSolved;
+    if (p.xSeconds < p.ySeconds) {
+      ++xWins;
+    } else if (p.ySeconds < p.xSeconds) {
+      ++yWins;
+    }
+    logRatioSum += std::log(std::max(p.ySeconds, kFloor) /
+                            std::max(p.xSeconds, kFloor));
+  }
+  out << "scatter " << yName << " (y) vs " << xName << " (x): n="
+      << points.size() << ", both-solved=" << bothSolved << '\n';
+  out << "  " << xName << ": aborted=" << xAborted << ", faster-or-solved="
+      << xWins << '\n';
+  out << "  " << yName << ": aborted=" << yAborted << ", faster-or-solved="
+      << yWins << '\n';
+  if (bothSolved > 0) {
+    out << "  geometric mean (" << yName << " time / " << xName
+        << " time) over both-solved = " << std::fixed << std::setprecision(2)
+        << std::exp(logRatioSum / bothSolved) << "x\n";
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,53 @@
+/// \file tables.h
+/// \brief Formats run records into the paper's artifacts: the
+///        aborted-instances tables (Tables 1 & 2) and the scatter-plot
+///        series (Figures 1-3, emitted as CSV plus a textual summary).
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace msu {
+
+/// Prints a Table-1-style summary: per solver, the number of instances
+/// aborted within the budget (plus solved counts and mean runtime).
+void printAbortedTable(std::ostream& out, std::span<const RunRecord> records,
+                       std::span<const std::string> solverOrder,
+                       const std::string& title);
+
+/// Per-family breakdown of aborted counts (extension of Table 1).
+void printFamilyBreakdown(std::ostream& out,
+                          std::span<const RunRecord> records,
+                          std::span<const std::string> solverOrder);
+
+/// One scatter point: runtimes of two solvers on the same instance.
+struct ScatterPoint {
+  std::string instance;
+  std::string family;
+  double xSeconds = 0.0;  ///< solver on the x axis (msu4-v2 in the paper)
+  double ySeconds = 0.0;
+  bool xAborted = false;
+  bool yAborted = false;
+};
+
+/// Pairs up records of two solvers by instance.
+[[nodiscard]] std::vector<ScatterPoint> makeScatter(
+    std::span<const RunRecord> records, const std::string& xSolver,
+    const std::string& ySolver);
+
+/// Emits "instance,family,x_seconds,y_seconds,x_aborted,y_aborted" CSV.
+void writeScatterCsv(std::ostream& out, std::span<const ScatterPoint> points,
+                     const std::string& xName, const std::string& yName);
+
+/// Prints a textual summary of a scatter: win counts, aborted counts and
+/// the geometric-mean runtime ratio over commonly-solved instances.
+void printScatterSummary(std::ostream& out,
+                         std::span<const ScatterPoint> points,
+                         const std::string& xName, const std::string& yName);
+
+}  // namespace msu

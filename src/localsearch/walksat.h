@@ -1,0 +1,44 @@
+/// \file walksat.h
+/// \brief WalkSAT-style stochastic local search for (partial) MaxSAT.
+///
+/// An *incomplete* engine: it never proves optimality but finds good
+/// assignments quickly. The paper's introduction cites incomplete
+/// approaches as the prior practical answer for industrial MaxSAT; here
+/// the engine doubles as (a) a standalone baseline and (b) the initial
+/// upper bound provider for the branch-and-bound solver.
+
+#pragma once
+
+#include <cstdint>
+
+#include "cnf/wcnf.h"
+#include "sat/budget.h"
+
+namespace msu {
+
+/// Options for the local search.
+struct WalkSatOptions {
+  std::int64_t maxFlips = 200'000;  ///< flips per restart
+  int restarts = 3;                 ///< independent tries
+  double noise = 0.3;               ///< probability of a random walk move
+  std::uint64_t seed = 1;           ///< RNG seed (deterministic runs)
+  Budget budget;                    ///< optional wall-clock budget
+};
+
+/// Result of a local-search run.
+struct WalkSatResult {
+  /// Weight of falsified soft clauses of the best assignment that
+  /// satisfies all hard clauses; `totalSoftWeight() + 1` when no
+  /// hard-feasible assignment was found.
+  Weight bestCost = 0;
+  /// True iff some visited assignment satisfied every hard clause.
+  bool hardFeasible = false;
+  Assignment model;  ///< the best assignment (complete)
+  std::int64_t flips = 0;
+};
+
+/// Runs WalkSAT on the instance.
+[[nodiscard]] WalkSatResult walksatMaxSat(const WcnfFormula& formula,
+                                          const WalkSatOptions& options = {});
+
+}  // namespace msu

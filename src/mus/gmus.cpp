@@ -1,0 +1,245 @@
+#include "mus/gmus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "core/core_trim.h"
+#include "sat/solver.h"
+
+namespace msu {
+
+void GroupCnf::addBackground(std::span<const Lit> lits) {
+  Clause c(lits.begin(), lits.end());
+  for (const Lit p : c) ensureVars(p.var() + 1);
+  background_.push_back(std::move(c));
+}
+
+void GroupCnf::addToGroup(int g, std::span<const Lit> lits) {
+  assert(g >= 0 && g < numGroups());
+  Clause c(lits.begin(), lits.end());
+  for (const Lit p : c) ensureVars(p.var() + 1);
+  groups_[static_cast<std::size_t>(g)].push_back(std::move(c));
+}
+
+namespace {
+
+/// One selector per *group*: every clause of group g becomes
+/// `(C ∨ s_g)`; assuming `¬s_g` enforces the whole group.
+class GroupInstance {
+ public:
+  GroupInstance(const GroupCnf& gcnf, const Solver::Options& satOpts,
+                const Budget& budget)
+      : solver_(satOpts) {
+    solver_.setBudget(budget);
+    for (Var v = 0; v < gcnf.numVars(); ++v) {
+      static_cast<void>(solver_.newVar());
+    }
+    for (const Clause& c : gcnf.background()) {
+      static_cast<void>(solver_.addClause(c));
+    }
+    selectors_.reserve(static_cast<std::size_t>(gcnf.numGroups()));
+    sel_of_var_.assign(static_cast<std::size_t>(gcnf.numVars()), -1);
+    for (int g = 0; g < gcnf.numGroups(); ++g) {
+      const Lit sel = posLit(solver_.newVar());
+      selectors_.push_back(sel);
+      sel_of_var_.push_back(g);
+      for (const Clause& c : gcnf.group(g)) {
+        Clause withSel = c;
+        withSel.push_back(sel);
+        static_cast<void>(solver_.addClause(withSel));
+      }
+    }
+  }
+
+  [[nodiscard]] Solver& solver() { return solver_; }
+
+  [[nodiscard]] Lit enforceLit(int g) const {
+    return ~selectors_[static_cast<std::size_t>(g)];
+  }
+
+  [[nodiscard]] lbool solveGroups(std::span<const int> groups) {
+    std::vector<Lit> assumptions;
+    assumptions.reserve(groups.size());
+    for (int g : groups) assumptions.push_back(enforceLit(g));
+    ++sat_calls_;
+    return solver_.solve(assumptions);
+  }
+
+  [[nodiscard]] std::vector<int> coreGroups() const {
+    std::vector<int> out;
+    out.reserve(solver_.core().size());
+    for (const Lit p : solver_.core()) {
+      const int g = sel_of_var_[static_cast<std::size_t>(p.var())];
+      assert(g >= 0);
+      out.push_back(g);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<int> trimGroups(std::span<const int> groups,
+                                            int rounds) {
+    std::vector<Lit> assumptions;
+    assumptions.reserve(groups.size());
+    for (int g : groups) assumptions.push_back(enforceLit(g));
+    CoreTrimOptions topts;
+    topts.trimRounds = rounds;
+    const std::vector<Lit> trimmed =
+        trimCore(solver_, std::move(assumptions), topts);
+    std::vector<int> out;
+    out.reserve(trimmed.size());
+    for (const Lit p : trimmed) {
+      out.push_back(sel_of_var_[static_cast<std::size_t>(p.var())]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t satCalls() const { return sat_calls_; }
+
+ private:
+  Solver solver_;
+  std::vector<Lit> selectors_;
+  std::vector<int> sel_of_var_;
+  std::int64_t sat_calls_ = 0;
+};
+
+[[nodiscard]] GroupMusResult finish(GroupInstance& inst, std::vector<int> set,
+                                    bool minimal) {
+  GroupMusResult r;
+  std::sort(set.begin(), set.end());
+  r.groups = std::move(set);
+  r.minimal = minimal;
+  r.satCalls = inst.satCalls();
+  return r;
+}
+
+/// Initial failing group set: nullopt when satisfiable or budget-dead;
+/// an empty vector when the background alone is unsatisfiable.
+[[nodiscard]] std::optional<std::vector<int>> initialGroups(
+    GroupInstance& inst, int numGroups, const MusOptions& options) {
+  std::vector<int> all(static_cast<std::size_t>(numGroups));
+  for (int g = 0; g < numGroups; ++g) all[static_cast<std::size_t>(g)] = g;
+  const lbool st = inst.solveGroups(all);
+  if (st != lbool::False) return std::nullopt;
+  std::vector<int> core = inst.coreGroups();
+  if (options.trimRounds > 0 && !core.empty()) {
+    core = inst.trimGroups(core, options.trimRounds);
+  }
+  return core;
+}
+
+}  // namespace
+
+GroupMusResult extractGroupMusDeletion(const GroupCnf& gcnf,
+                                       const MusOptions& options) {
+  GroupInstance inst(gcnf, options.sat, options.budget);
+  auto seed = initialGroups(inst, gcnf.numGroups(), options);
+  if (!seed) return GroupMusResult{{}, false, inst.satCalls()};
+
+  std::vector<int> candidate = std::move(*seed);
+  std::vector<char> critical(static_cast<std::size_t>(gcnf.numGroups()), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t pos = 0; pos < candidate.size(); ++pos) {
+      const int g = candidate[pos];
+      if (critical[static_cast<std::size_t>(g)] != 0) continue;
+      std::vector<int> test;
+      test.reserve(candidate.size() - 1);
+      for (int other : candidate) {
+        if (other != g) test.push_back(other);
+      }
+      const lbool st = inst.solveGroups(test);
+      if (st == lbool::Undef) {
+        return finish(inst, std::move(candidate), false);
+      }
+      if (st == lbool::False) {
+        candidate = inst.coreGroups();  // group-set refinement
+        progressed = true;
+        break;
+      }
+      critical[static_cast<std::size_t>(g)] = 1;
+    }
+  }
+  return finish(inst, std::move(candidate), true);
+}
+
+namespace {
+
+[[nodiscard]] std::optional<std::vector<int>> quickXplainGroups(
+    GroupInstance& inst, std::vector<int>& background,
+    std::span<const int> candidates, bool backgroundChanged) {
+  if (backgroundChanged && !candidates.empty()) {
+    const lbool st = inst.solveGroups(background);
+    if (st == lbool::Undef) return std::nullopt;
+    if (st == lbool::False) return std::vector<int>{};
+  }
+  if (candidates.empty()) return std::vector<int>{};
+  if (candidates.size() == 1) return std::vector<int>{candidates.front()};
+  const std::size_t half = candidates.size() / 2;
+  const std::span<const int> d1 = candidates.subspan(0, half);
+  const std::span<const int> d2 = candidates.subspan(half);
+
+  const std::size_t mark1 = background.size();
+  background.insert(background.end(), d1.begin(), d1.end());
+  auto m2 = quickXplainGroups(inst, background, d2, true);
+  background.resize(mark1);
+  if (!m2) return std::nullopt;
+
+  const std::size_t mark2 = background.size();
+  background.insert(background.end(), m2->begin(), m2->end());
+  auto m1 = quickXplainGroups(inst, background, d1, !m2->empty());
+  background.resize(mark2);
+  if (!m1) return std::nullopt;
+
+  m1->insert(m1->end(), m2->begin(), m2->end());
+  return m1;
+}
+
+}  // namespace
+
+GroupMusResult extractGroupMusDichotomic(const GroupCnf& gcnf,
+                                         const MusOptions& options) {
+  GroupInstance inst(gcnf, options.sat, options.budget);
+  auto seed = initialGroups(inst, gcnf.numGroups(), options);
+  if (!seed) return GroupMusResult{{}, false, inst.satCalls()};
+
+  std::vector<int> background;
+  auto mus = quickXplainGroups(inst, background, *seed, false);
+  if (!mus) return finish(inst, std::move(*seed), false);
+  return finish(inst, std::move(*mus), true);
+}
+
+bool groupSubsetUnsat(const GroupCnf& gcnf, std::span<const int> groups,
+                      const Budget& budget) {
+  Solver solver;
+  solver.setBudget(budget);
+  for (Var v = 0; v < gcnf.numVars(); ++v) static_cast<void>(solver.newVar());
+  for (const Clause& c : gcnf.background()) {
+    if (!solver.addClause(c)) return true;
+  }
+  for (int g : groups) {
+    for (const Clause& c : gcnf.group(g)) {
+      if (!solver.addClause(c)) return true;
+    }
+  }
+  return solver.solve() == lbool::False;
+}
+
+bool isGroupMus(const GroupCnf& gcnf, std::span<const int> groups,
+                const Budget& budget) {
+  if (!groupSubsetUnsat(gcnf, groups, budget)) return false;
+  std::vector<int> test;
+  for (std::size_t skip = 0; skip < groups.size(); ++skip) {
+    test.clear();
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (j != skip) test.push_back(groups[j]);
+    }
+    if (groupSubsetUnsat(gcnf, test, budget)) return false;
+  }
+  return true;
+}
+
+}  // namespace msu

@@ -1,0 +1,197 @@
+#include "mus/mcs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/incremental_atmost.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+namespace {
+
+/// True iff `a` (sorted) is a superset of `b` (sorted).
+[[nodiscard]] bool supersetOf(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  return std::includes(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+McsResult enumerateMcses(const CnfFormula& cnf, const McsOptions& options) {
+  McsResult result;
+  Solver solver(options.sat);
+  solver.setBudget(options.budget);
+  for (Var v = 0; v < cnf.numVars(); ++v) static_cast<void>(solver.newVar());
+
+  // Falsification indicators: b_i <-> ¬C_i, so every model's b-set is
+  // exactly the set of falsified clauses.
+  const int m = cnf.numClauses();
+  std::vector<Lit> indicators;
+  indicators.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const Lit b = posLit(solver.newVar());
+    indicators.push_back(b);
+    Clause relaxed = cnf.clause(i);
+    relaxed.push_back(b);
+    static_cast<void>(solver.addClause(relaxed));
+    for (const Lit p : cnf.clause(i)) {
+      static_cast<void>(solver.addClause({~b, ~p}));
+    }
+  }
+
+  SolverSink sink(solver);
+  AssumableAtMost bound(sink, indicators, options.encoding);
+
+  const int kMax = options.maxSize > 0 ? std::min(options.maxSize, m) : m;
+  for (int k = 0; k <= kMax; ++k) {
+    const std::optional<Lit> boundLit = bound.boundLit(k);
+    while (true) {
+      std::vector<Lit> assumptions;
+      if (boundLit) assumptions.push_back(*boundLit);
+      ++result.satCalls;
+      const lbool st = solver.solve(assumptions);
+      if (st == lbool::Undef) return result;  // budget: incomplete
+      if (st == lbool::False) break;          // level k exhausted
+
+      std::vector<int> mcs;
+      for (int i = 0; i < m; ++i) {
+        if (solver.modelValue(indicators[static_cast<std::size_t>(i)]) ==
+            lbool::True) {
+          mcs.push_back(i);
+        }
+      }
+      if (mcs.empty()) {
+        // The formula itself is satisfiable: no correction needed.
+        result.complete = true;
+        return result;
+      }
+      // Block this MCS and every superset: some member must be satisfied.
+      Clause blocking;
+      blocking.reserve(mcs.size());
+      for (int i : mcs) blocking.push_back(~indicators[static_cast<std::size_t>(i)]);
+      static_cast<void>(solver.addClause(blocking));
+      result.mcses.push_back(std::move(mcs));
+      if (options.maxCount > 0 &&
+          static_cast<int>(result.mcses.size()) >= options.maxCount) {
+        return result;  // capped: incomplete
+      }
+    }
+    // All correction sets of size <= k are now blocked. If the blockers
+    // alone are unsatisfiable, the collection is exhaustive.
+    ++result.satCalls;
+    const lbool st = solver.solve();
+    if (st == lbool::Undef) return result;
+    if (st == lbool::False) {
+      result.complete = true;
+      return result;
+    }
+  }
+  return result;  // size cap reached with larger MCSes remaining
+}
+
+namespace {
+
+void hittingSetsRec(const std::vector<std::vector<int>>& sets,
+                    std::vector<int>& chosen,
+                    std::vector<std::vector<int>>& out, int maxCount) {
+  if (maxCount > 0 && static_cast<int>(out.size()) >= maxCount) return;
+
+  // Prune: a strict extension of an already-found hitting set can never
+  // be minimal.
+  {
+    std::vector<int> sortedChosen = chosen;
+    std::sort(sortedChosen.begin(), sortedChosen.end());
+    for (const auto& found : out) {
+      if (supersetOf(sortedChosen, found)) return;
+    }
+  }
+
+  // First set not hit by `chosen`.
+  const std::vector<int>* unhit = nullptr;
+  for (const auto& s : sets) {
+    bool hit = false;
+    for (int e : s) {
+      if (std::find(chosen.begin(), chosen.end(), e) != chosen.end()) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      unhit = &s;
+      break;
+    }
+  }
+
+  if (unhit == nullptr) {
+    // Hitting set; keep it only if minimal: every chosen element must be
+    // the sole hitter of some set.
+    for (int e : chosen) {
+      bool witnessed = false;
+      for (const auto& s : sets) {
+        bool eHits = false;
+        bool otherHits = false;
+        for (int x : s) {
+          if (x == e) {
+            eHits = true;
+          } else if (std::find(chosen.begin(), chosen.end(), x) !=
+                     chosen.end()) {
+            otherHits = true;
+          }
+        }
+        if (eHits && !otherHits) {
+          witnessed = true;
+          break;
+        }
+      }
+      if (!witnessed) return;  // redundant element: not minimal
+    }
+    std::vector<int> sorted = chosen;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::find(out.begin(), out.end(), sorted) == out.end()) {
+      out.push_back(std::move(sorted));
+    }
+    return;
+  }
+
+  for (int e : *unhit) {
+    if (std::find(chosen.begin(), chosen.end(), e) != chosen.end()) continue;
+    chosen.push_back(e);
+    hittingSetsRec(sets, chosen, out, maxCount);
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> minimalHittingSets(
+    const std::vector<std::vector<int>>& sets, int maxCount) {
+  for (const auto& s : sets) {
+    if (s.empty()) return {};  // an empty set cannot be hit
+  }
+  std::vector<std::vector<int>> out;
+  std::vector<int> chosen;
+  hittingSetsRec(sets, chosen, out, maxCount);
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  return out;
+}
+
+AllMusesResult enumerateAllMuses(const CnfFormula& cnf,
+                                 const McsOptions& options) {
+  AllMusesResult result;
+  const McsResult mcses = enumerateMcses(cnf, options);
+  result.satCalls = mcses.satCalls;
+  result.complete = mcses.complete;
+  if (!mcses.complete) {
+    // Hitting sets of a partial MCS collection are not MUSes; report
+    // nothing rather than unsound candidates.
+    return result;
+  }
+  result.muses = minimalHittingSets(mcses.mcses, options.maxCount);
+  return result;
+}
+
+}  // namespace msu

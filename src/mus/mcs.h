@@ -1,0 +1,94 @@
+/// \file mcs.h
+/// \brief Minimal Correction Set (MCS) enumeration and the MCS/MUS
+///        hitting-set duality (Reiter; Liffiton & Sakallah's CAMUS).
+///
+/// An MCS of an unsatisfiable CNF is a minimal set of clauses whose
+/// removal restores satisfiability; its complement is a maximal
+/// satisfiable subformula (MSS). The duality the DATE'08 paper's §2.3
+/// leans on is made executable here:
+///  * the smallest MCS size equals the optimum MaxSAT *cost* —
+///    Proposition 2's lower bound is tight exactly at an MCS;
+///  * MUSes are precisely the minimal hitting sets of the MCS
+///    collection, and vice versa.
+///
+/// Enumeration instruments every clause with a falsification indicator
+/// `b_i ↔ ¬C_i` and sweeps cardinality levels `sum(b) <= k` for
+/// k = 0, 1, 2, ...; each model found is an MCS (all smaller correction
+/// sets are already blocked, so candidates at level k are minimal), and
+/// each MCS is excluded by a blocking clause before the sweep continues.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "encodings/cardinality.h"
+#include "sat/budget.h"
+#include "sat/solver.h"
+
+namespace msu {
+
+/// Options for MCS enumeration.
+struct McsOptions {
+  /// Cooperative budget across all SAT calls.
+  Budget budget;
+
+  /// Stop after this many MCSes even if more exist (0 = no cap).
+  int maxCount = 0;
+
+  /// Only enumerate MCSes of size <= maxSize (0 = no cap). The output is
+  /// then the complete collection of small MCSes, which still suffices
+  /// to certify the MaxSAT optimum when any MCS is found.
+  int maxSize = 0;
+
+  /// Cardinality encoding for the level constraint.
+  CardEncoding encoding = CardEncoding::Totalizer;
+
+  /// Underlying CDCL parameters.
+  Solver::Options sat;
+};
+
+/// Result of MCS enumeration.
+struct McsResult {
+  /// Each MCS as a sorted list of clause indices; enumerated in
+  /// non-decreasing size order.
+  std::vector<std::vector<int>> mcses;
+
+  /// True iff the collection is provably exhaustive (no budget/cap hit).
+  bool complete = false;
+
+  /// Diagnostics.
+  std::int64_t satCalls = 0;
+
+  /// Size of the smallest MCS (== optimum MaxSAT cost), or -1 when none
+  /// was found. The input being unsatisfiable guarantees >= 1.
+  [[nodiscard]] int minSize() const {
+    return mcses.empty() ? -1 : static_cast<int>(mcses.front().size());
+  }
+};
+
+/// Enumerates MCSes of `cnf` in non-decreasing size order.
+/// Satisfiable inputs yield an empty, complete collection.
+[[nodiscard]] McsResult enumerateMcses(const CnfFormula& cnf,
+                                       const McsOptions& options = {});
+
+/// All minimal hitting sets of `sets` over non-negative int elements,
+/// capped at `maxCount` results (0 = no cap). Exponential in general —
+/// intended for the CAMUS-style second stage on small collections.
+[[nodiscard]] std::vector<std::vector<int>> minimalHittingSets(
+    const std::vector<std::vector<int>>& sets, int maxCount = 0);
+
+/// Result of full MUS enumeration.
+struct AllMusesResult {
+  std::vector<std::vector<int>> muses;  ///< each sorted ascending
+  bool complete = false;                ///< MCS stage was exhaustive
+  std::int64_t satCalls = 0;
+};
+
+/// CAMUS-style enumeration of all MUSes: enumerate all MCSes, then
+/// compute their minimal hitting sets. Exponential; small inputs only.
+[[nodiscard]] AllMusesResult enumerateAllMuses(const CnfFormula& cnf,
+                                               const McsOptions& options = {});
+
+}  // namespace msu

@@ -1,0 +1,345 @@
+#include "mus/mus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "core/core_trim.h"
+
+namespace msu {
+
+namespace {
+
+/// Shared substrate: one selector per clause, `(C_i ∨ s_i)`; assuming
+/// `¬s_i` enforces clause i. Keeps the solver (and everything it learns)
+/// alive across the whole extraction.
+class SelectorInstance {
+ public:
+  SelectorInstance(const CnfFormula& cnf, const Solver::Options& satOpts,
+                   const Budget& budget)
+      : cnf_(&cnf), solver_(satOpts) {
+    solver_.setBudget(budget);
+    for (Var v = 0; v < cnf.numVars(); ++v) {
+      static_cast<void>(solver_.newVar());
+    }
+    selectors_.reserve(static_cast<std::size_t>(cnf.numClauses()));
+    sel_of_var_.assign(static_cast<std::size_t>(cnf.numVars()), -1);
+    for (int i = 0; i < cnf.numClauses(); ++i) {
+      const Lit sel = posLit(solver_.newVar());
+      selectors_.push_back(sel);
+      sel_of_var_.push_back(i);
+      Clause withSel = cnf.clause(i);
+      withSel.push_back(sel);
+      static_cast<void>(solver_.addClause(withSel));
+    }
+  }
+
+  [[nodiscard]] Solver& solver() { return solver_; }
+  [[nodiscard]] const CnfFormula& cnf() const { return *cnf_; }
+
+  [[nodiscard]] Lit enforceLit(int clause) const {
+    return ~selectors_[static_cast<std::size_t>(clause)];
+  }
+
+  /// Solves with exactly the clauses in `subset` enforced.
+  [[nodiscard]] lbool solveSubset(std::span<const int> subset) {
+    std::vector<Lit> assumptions;
+    assumptions.reserve(subset.size());
+    for (int i : subset) assumptions.push_back(enforceLit(i));
+    ++sat_calls_;
+    return solver_.solve(assumptions);
+  }
+
+  /// Maps the last failing-assumption core back to clause indices.
+  [[nodiscard]] std::vector<int> coreIndices() const {
+    std::vector<int> out;
+    out.reserve(solver_.core().size());
+    for (Lit p : solver_.core()) {
+      const int idx = sel_of_var_[static_cast<std::size_t>(p.var())];
+      assert(idx >= 0);
+      out.push_back(idx);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Fixpoint-trims a failing clause subset via core_trim on the
+  /// corresponding assumption literals.
+  [[nodiscard]] std::vector<int> trimSubset(std::span<const int> subset,
+                                            int rounds) {
+    std::vector<Lit> assumptions;
+    assumptions.reserve(subset.size());
+    for (int i : subset) assumptions.push_back(enforceLit(i));
+    CoreTrimOptions topts;
+    topts.trimRounds = rounds;
+    const std::vector<Lit> trimmed =
+        trimCore(solver_, std::move(assumptions), topts);
+    std::vector<int> out;
+    out.reserve(trimmed.size());
+    for (Lit p : trimmed) {
+      out.push_back(sel_of_var_[static_cast<std::size_t>(p.var())]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t satCalls() const { return sat_calls_; }
+
+ private:
+  const CnfFormula* cnf_;
+  Solver solver_;
+  std::vector<Lit> selectors_;
+  std::vector<int> sel_of_var_;  // var -> clause index (-1: original var)
+  std::int64_t sat_calls_ = 0;
+};
+
+/// Extracts the model over original variables from the solver.
+[[nodiscard]] Assignment modelPrefix(const Solver& solver, int numVars) {
+  Assignment a(static_cast<std::size_t>(numVars));
+  for (Var v = 0; v < numVars; ++v) a[static_cast<std::size_t>(v)] =
+      solver.model()[static_cast<std::size_t>(v)];
+  return a;
+}
+
+/// Indices of `candidate` clauses falsified by `a`.
+[[nodiscard]] std::vector<int> falsifiedAmong(const CnfFormula& cnf,
+                                              std::span<const int> candidate,
+                                              const Assignment& a) {
+  std::vector<int> out;
+  for (int i : candidate) {
+    if (!cnf.clauseSatisfied(i, a)) out.push_back(i);
+  }
+  return out;
+}
+
+/// Recursive model rotation (Belov & Marques-Silva): `a` falsifies
+/// exactly clause `seed` among `candidate`; flipping one variable of the
+/// uniquely-falsified clause may make another clause uniquely falsified,
+/// which is then also critical. Marks into `critical`.
+void rotateModels(const CnfFormula& cnf, std::span<const int> candidate,
+                  int seed, Assignment a, std::vector<char>& critical,
+                  std::int64_t& marked) {
+  struct Frame {
+    int clause;
+    Assignment assignment;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({seed, std::move(a)});
+  while (!stack.empty()) {
+    Frame fr = std::move(stack.back());
+    stack.pop_back();
+    for (const Lit p : cnf.clause(fr.clause)) {
+      Assignment flipped = fr.assignment;
+      auto& cell = flipped[static_cast<std::size_t>(p.var())];
+      cell = ~cell;
+      const std::vector<int> fals = falsifiedAmong(cnf, candidate, flipped);
+      if (fals.size() == 1 &&
+          critical[static_cast<std::size_t>(fals.front())] == 0) {
+        critical[static_cast<std::size_t>(fals.front())] = 1;
+        ++marked;
+        stack.push_back({fals.front(), std::move(flipped)});
+      }
+    }
+  }
+}
+
+[[nodiscard]] MusResult finish(SelectorInstance& inst, std::vector<int> set,
+                               bool minimal, std::int64_t rotated) {
+  MusResult r;
+  std::sort(set.begin(), set.end());
+  r.clauseIndices = std::move(set);
+  r.minimal = minimal;
+  r.satCalls = inst.satCalls();
+  r.rotationCriticals = rotated;
+  return r;
+}
+
+/// Initial unsatisfiable core (trimmed), or nullopt when the formula is
+/// satisfiable / the budget expired.
+[[nodiscard]] std::optional<std::vector<int>> initialCore(
+    SelectorInstance& inst, const MusOptions& options) {
+  std::vector<int> all(static_cast<std::size_t>(inst.cnf().numClauses()));
+  for (int i = 0; i < inst.cnf().numClauses(); ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  const lbool st = inst.solveSubset(all);
+  if (st != lbool::False) return std::nullopt;
+  std::vector<int> core = inst.coreIndices();
+  if (options.trimRounds > 0) {
+    core = inst.trimSubset(core, options.trimRounds);
+  }
+  return core;
+}
+
+}  // namespace
+
+MusResult extractMusDeletion(const CnfFormula& cnf,
+                             const MusOptions& options) {
+  SelectorInstance inst(cnf, options.sat, options.budget);
+  auto seed = initialCore(inst, options);
+  if (!seed) return MusResult{{}, false, inst.satCalls(), 0};
+
+  std::vector<int> candidate = std::move(*seed);
+  std::vector<char> critical(static_cast<std::size_t>(cnf.numClauses()), 0);
+  std::int64_t rotated = 0;
+
+  // Invariant: `candidate` is unsatisfiable; clauses marked critical
+  // belong to every MUS inside it.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t pos = 0; pos < candidate.size(); ++pos) {
+      const int i = candidate[pos];
+      if (critical[static_cast<std::size_t>(i)] != 0) continue;
+
+      std::vector<int> test;
+      test.reserve(candidate.size() - 1);
+      for (int j : candidate) {
+        if (j != i) test.push_back(j);
+      }
+      const lbool st = inst.solveSubset(test);
+      if (st == lbool::Undef) {
+        return finish(inst, std::move(candidate), false, rotated);
+      }
+      if (st == lbool::False) {
+        // Clause-set refinement: adopt the (usually much smaller) core.
+        candidate = inst.coreIndices();
+        progressed = true;
+        break;  // restart the scan over the refined candidate
+      }
+      // SAT: `i` is a transition clause — critical. The model falsifies
+      // exactly `i` among `candidate`, the precondition for rotation.
+      critical[static_cast<std::size_t>(i)] = 1;
+      if (options.modelRotation) {
+        const Assignment a = modelPrefix(inst.solver(), cnf.numVars());
+        rotateModels(cnf, candidate, i, a, critical, rotated);
+      }
+    }
+  }
+  return finish(inst, std::move(candidate), true, rotated);
+}
+
+namespace {
+
+/// QuickXplain recursion. Precondition: background ∪ candidates is
+/// unsatisfiable. Returns a minimal subset M of `candidates` with
+/// background ∪ M unsatisfiable, or nullopt on budget expiry.
+[[nodiscard]] std::optional<std::vector<int>> quickXplain(
+    SelectorInstance& inst, std::vector<int>& background,
+    std::span<const int> candidates, bool backgroundChanged) {
+  if (backgroundChanged && !candidates.empty()) {
+    const lbool st = inst.solveSubset(background);
+    if (st == lbool::Undef) return std::nullopt;
+    if (st == lbool::False) return std::vector<int>{};
+  }
+  if (candidates.empty()) return std::vector<int>{};
+  if (candidates.size() == 1) {
+    return std::vector<int>{candidates.front()};
+  }
+  const std::size_t half = candidates.size() / 2;
+  const std::span<const int> d1 = candidates.subspan(0, half);
+  const std::span<const int> d2 = candidates.subspan(half);
+
+  // M2 = qx(B ∪ D1, D2)
+  const std::size_t mark1 = background.size();
+  background.insert(background.end(), d1.begin(), d1.end());
+  auto m2 = quickXplain(inst, background, d2, /*backgroundChanged=*/true);
+  background.resize(mark1);
+  if (!m2) return std::nullopt;
+
+  // M1 = qx(B ∪ M2, D1)
+  const std::size_t mark2 = background.size();
+  background.insert(background.end(), m2->begin(), m2->end());
+  auto m1 = quickXplain(inst, background, d1,
+                        /*backgroundChanged=*/!m2->empty());
+  background.resize(mark2);
+  if (!m1) return std::nullopt;
+
+  m1->insert(m1->end(), m2->begin(), m2->end());
+  return m1;
+}
+
+}  // namespace
+
+MusResult extractMusDichotomic(const CnfFormula& cnf,
+                               const MusOptions& options) {
+  SelectorInstance inst(cnf, options.sat, options.budget);
+  auto seed = initialCore(inst, options);
+  if (!seed) return MusResult{{}, false, inst.satCalls(), 0};
+
+  std::vector<int> background;
+  auto mus = quickXplain(inst, background, *seed,
+                         /*backgroundChanged=*/false);
+  if (!mus) return finish(inst, std::move(*seed), false, 0);
+  return finish(inst, std::move(*mus), true, 0);
+}
+
+MusResult extractMusInsertion(const CnfFormula& cnf,
+                              const MusOptions& options) {
+  SelectorInstance inst(cnf, options.sat, options.budget);
+  auto seed = initialCore(inst, options);
+  if (!seed) return MusResult{{}, false, inst.satCalls(), 0};
+
+  // Work inside the seed core only; `mus` grows one transition clause
+  // per outer iteration, `pool` shrinks to the prefix that tipped over.
+  std::vector<int> pool = std::move(*seed);
+  std::vector<int> mus;
+  while (true) {
+    {
+      const lbool st = inst.solveSubset(mus);
+      if (st == lbool::Undef) {
+        // `pool` is still unsatisfiable and contains mus.
+        return finish(inst, std::move(pool), false, 0);
+      }
+      if (st == lbool::False) break;  // mus itself unsatisfiable: done
+    }
+    std::vector<int> prefix = mus;
+    bool tipped = false;
+    for (int c : pool) {
+      if (std::find(mus.begin(), mus.end(), c) != mus.end()) continue;
+      prefix.push_back(c);
+      const lbool st = inst.solveSubset(prefix);
+      if (st == lbool::Undef) {
+        return finish(inst, std::move(pool), false, 0);
+      }
+      if (st == lbool::False) {
+        mus.push_back(c);    // transition clause is in every MUS of prefix
+        pool = std::move(prefix);  // restrict future work to the prefix
+        tipped = true;
+        break;
+      }
+    }
+    if (!tipped) {
+      // pool ∪ mus satisfiable — cannot happen when pool is unsat.
+      assert(false && "insertion scan failed to tip over");
+      return finish(inst, std::move(pool), false, 0);
+    }
+  }
+  return finish(inst, std::move(mus), true, 0);
+}
+
+bool subsetUnsat(const CnfFormula& cnf, std::span<const int> clauseIndices,
+                 const Budget& budget) {
+  Solver solver;
+  solver.setBudget(budget);
+  for (Var v = 0; v < cnf.numVars(); ++v) static_cast<void>(solver.newVar());
+  for (int i : clauseIndices) {
+    if (!solver.addClause(cnf.clause(i))) return true;
+  }
+  return solver.solve() == lbool::False;
+}
+
+bool isMus(const CnfFormula& cnf, std::span<const int> clauseIndices,
+           const Budget& budget) {
+  if (!subsetUnsat(cnf, clauseIndices, budget)) return false;
+  std::vector<int> test;
+  for (std::size_t skip = 0; skip < clauseIndices.size(); ++skip) {
+    test.clear();
+    for (std::size_t j = 0; j < clauseIndices.size(); ++j) {
+      if (j != skip) test.push_back(clauseIndices[j]);
+    }
+    if (subsetUnsat(cnf, test, budget)) return false;
+  }
+  return true;
+}
+
+}  // namespace msu

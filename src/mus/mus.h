@@ -1,0 +1,98 @@
+/// \file mus.h
+/// \brief Minimal Unsatisfiable Subformula (MUS) extraction. The DATE'08
+///        paper builds msu4 on the relationship between unsatisfiable
+///        cores and MaxSAT (§2.3, citing Kullmann, de la Banda et al. and
+///        Liffiton & Sakallah); this module implements the core-based
+///        side of that relationship as a first-class library feature.
+///
+/// Three extractors over plain CNF formulas, all driven by the same
+/// assumption-based CDCL substrate the MaxSAT engines use:
+///  * deletion-based — linear SAT calls, clause-set refinement from each
+///    UNSAT core, and recursive model rotation on each SAT answer
+///    (Belov & Marques-Silva), typically far fewer calls than clauses;
+///  * dichotomic — the QuickXplain divide-and-conquer scheme,
+///    O(|MUS| log n) SAT calls, best when the MUS is small;
+///  * insertion-based — repeatedly grows a satisfiable prefix until it
+///    tips over; simple, and a useful differential-testing partner.
+///
+/// Every extractor returns a set of clause indices that is unsatisfiable
+/// on completion and *minimal* (every proper subset satisfiable) unless
+/// the budget ran out first.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "sat/budget.h"
+#include "sat/solver.h"
+
+namespace msu {
+
+/// Options shared by the MUS extractors.
+struct MusOptions {
+  /// Cooperative budget across all SAT calls of one extraction.
+  Budget budget;
+
+  /// Fixpoint core-trimming rounds applied to the initial core before
+  /// minimization starts (deletion/dichotomic extractors).
+  int trimRounds = 4;
+
+  /// Deletion extractor: propagate criticality through model rotation
+  /// (flip one variable of the transition clause, re-mark clauses that
+  /// become uniquely falsified). Saves SAT calls on structured inputs.
+  bool modelRotation = true;
+
+  /// Underlying CDCL parameters.
+  Solver::Options sat;
+};
+
+/// Result of a MUS extraction.
+struct MusResult {
+  /// Clause indices into the input formula, sorted ascending. An
+  /// unsatisfiable subset; minimal iff `minimal` is true.
+  std::vector<int> clauseIndices;
+
+  /// True iff minimality was established (budget did not expire).
+  bool minimal = false;
+
+  /// Diagnostics.
+  std::int64_t satCalls = 0;           ///< SAT solver invocations
+  std::int64_t rotationCriticals = 0;  ///< clauses marked by rotation alone
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(clauseIndices.size());
+  }
+};
+
+/// Deletion-based extraction with clause-set refinement and model
+/// rotation. Precondition: `cnf` is unsatisfiable (otherwise returns an
+/// empty, non-minimal result).
+[[nodiscard]] MusResult extractMusDeletion(const CnfFormula& cnf,
+                                           const MusOptions& options = {});
+
+/// Dichotomic (QuickXplain-style) extraction.
+[[nodiscard]] MusResult extractMusDichotomic(const CnfFormula& cnf,
+                                             const MusOptions& options = {});
+
+/// Insertion-based extraction.
+[[nodiscard]] MusResult extractMusInsertion(const CnfFormula& cnf,
+                                            const MusOptions& options = {});
+
+/// True iff the subset (indices into `cnf.clauses()`) is unsatisfiable,
+/// decided with a CDCL solve under the given budget; `false` also when
+/// the budget expires.
+[[nodiscard]] bool subsetUnsat(const CnfFormula& cnf,
+                               std::span<const int> clauseIndices,
+                               const Budget& budget = {});
+
+/// True iff `clauseIndices` is a MUS of `cnf`: unsatisfiable and every
+/// proper subset obtained by dropping one clause satisfiable. Cost is
+/// |subset|+1 SAT calls — intended for tests and assertions.
+[[nodiscard]] bool isMus(const CnfFormula& cnf,
+                         std::span<const int> clauseIndices,
+                         const Budget& budget = {});
+
+}  // namespace msu

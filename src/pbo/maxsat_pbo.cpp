@@ -1,0 +1,66 @@
+#include "pbo/maxsat_pbo.h"
+
+namespace msu {
+
+PboMaxSatSolver::PboMaxSatSolver(PboMaxSatOptions options) : opts_(options) {}
+
+std::string PboMaxSatSolver::name() const {
+  return std::string("pbo-") + toString(opts_.encoding);
+}
+
+PboProblem PboMaxSatSolver::toPbo(const WcnfFormula& formula) {
+  PboProblem p;
+  p.numVars = formula.numVars();
+  for (const Clause& h : formula.hard()) p.clauses.push_back(h);
+  int nextVar = formula.numVars();
+  for (const SoftClause& s : formula.soft()) {
+    const Lit b = posLit(nextVar++);
+    Clause c = s.lits;
+    c.push_back(b);
+    p.clauses.push_back(std::move(c));
+    p.objective.push_back(PbTerm{b, s.weight});
+  }
+  p.numVars = nextVar;
+  return p;
+}
+
+MaxSatResult PboMaxSatSolver::solve(const WcnfFormula& formula) {
+  MaxSatResult result;
+  const PboProblem problem = toPbo(formula);
+
+  PboOptions po;
+  po.budget = opts_.budget;
+  po.encoding = opts_.encoding;
+  po.sat = opts_.sat;
+  PboSolver pbo(po);
+  const PboResult pr = pbo.solve(problem);
+
+  result.iterations = pr.iterations;
+  result.satCalls = pr.iterations;
+  result.satStats = pr.satStats;
+  switch (pr.status) {
+    case PboStatus::Optimum:
+      result.status = MaxSatStatus::Optimum;
+      result.cost = pr.objective;
+      result.lowerBound = pr.objective;
+      result.upperBound = pr.objective;
+      break;
+    case PboStatus::Infeasible:
+      result.status = MaxSatStatus::UnsatisfiableHard;
+      break;
+    case PboStatus::Unknown:
+      result.status = MaxSatStatus::Unknown;
+      result.lowerBound = 0;
+      result.upperBound = pr.model.empty() ? formula.totalSoftWeight()
+                                           : pr.upperBound;
+      break;
+  }
+  if (!pr.model.empty()) {
+    // Truncate to the original variables (blocking variables come after).
+    result.model.assign(pr.model.begin(),
+                        pr.model.begin() + formula.numVars());
+  }
+  return result;
+}
+
+}  // namespace msu

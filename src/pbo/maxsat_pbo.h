@@ -1,0 +1,41 @@
+/// \file maxsat_pbo.h
+/// \brief The paper's "pbo" baseline (§2.2): translate MaxSAT to PBO by
+///        adding one blocking variable per soft clause and minimizing the
+///        number of blocking variables set to 1, then solve with the
+///        minisat+-style PBO engine. This is the formulation the paper
+///        shows does not scale (every clause pays a blocking variable up
+///        front), which msu4 is designed to avoid.
+
+#pragma once
+
+#include "core/maxsat.h"
+#include "pbo/pbo_solver.h"
+
+namespace msu {
+
+/// Options for the PBO-based MaxSAT baseline.
+struct PboMaxSatOptions {
+  Budget budget;
+  PbEncoding encoding = PbEncoding::Bdd;
+  Solver::Options sat;
+};
+
+/// MaxSAT via the PBO formulation. Handles weighted instances natively
+/// (weights become objective coefficients).
+class PboMaxSatSolver final : public MaxSatSolver {
+ public:
+  explicit PboMaxSatSolver(PboMaxSatOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] MaxSatResult solve(const WcnfFormula& formula) override;
+
+  /// The translation itself (exposed for tests and documentation):
+  /// clause `w_i` becomes `w_i ∨ b_i`, objective = sum(weight_i * b_i).
+  [[nodiscard]] static PboProblem toPbo(const WcnfFormula& formula);
+
+ private:
+  PboMaxSatOptions opts_;
+};
+
+}  // namespace msu

@@ -1,0 +1,199 @@
+#include "pbo/opb.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace msu {
+
+namespace {
+
+/// Splits the input into whitespace-separated tokens, dropping `*`
+/// comment lines.
+std::vector<std::string> tokenize(std::istream& in) {
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '*') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+[[nodiscard]] bool isRelop(const std::string& tok) {
+  return tok == ">=" || tok == "<=" || tok == "=";
+}
+
+/// Parses an integer coefficient like "+3", "-12", "7".
+[[nodiscard]] Weight parseCoeff(const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(tok, &pos);
+    if (pos != tok.size()) throw OpbError("bad coefficient: " + tok);
+    return static_cast<Weight>(v);
+  } catch (const OpbError&) {
+    throw;
+  } catch (...) {
+    throw OpbError("bad coefficient: " + tok);
+  }
+}
+
+/// Parses a literal token "x12" or "~x12" (1-based).
+[[nodiscard]] Lit parseLitToken(const std::string& tok) {
+  std::string body = tok;
+  bool negated = false;
+  if (!body.empty() && body[0] == '~') {
+    negated = true;
+    body.erase(body.begin());
+  }
+  if (body.size() < 2 || body[0] != 'x') {
+    throw OpbError("bad variable: " + tok);
+  }
+  try {
+    std::size_t pos = 0;
+    const long long id = std::stoll(body.substr(1), &pos);
+    if (pos != body.size() - 1 || id <= 0) {
+      throw OpbError("bad variable: " + tok);
+    }
+    return mkLit(static_cast<Var>(id - 1), negated);
+  } catch (const OpbError&) {
+    throw;
+  } catch (...) {
+    throw OpbError("bad variable: " + tok);
+  }
+}
+
+}  // namespace
+
+PboProblem readOpb(std::istream& in) {
+  const std::vector<std::string> tokens = tokenize(in);
+  PboProblem problem;
+  std::size_t i = 0;
+  Var maxVar = -1;
+
+  auto noteVar = [&](Lit p) { maxVar = std::max(maxVar, p.var()); };
+
+  // Optional objective.
+  if (i < tokens.size() && tokens[i] == "min:") {
+    ++i;
+    while (i < tokens.size() && tokens[i] != ";") {
+      if (i + 1 >= tokens.size()) throw OpbError("truncated objective");
+      const Weight coeff = parseCoeff(tokens[i]);
+      const Lit lit = parseLitToken(tokens[i + 1]);
+      noteVar(lit);
+      if (coeff >= 0) {
+        if (coeff > 0) problem.objective.push_back({lit, coeff});
+      } else {
+        // -c*l == -c + c*(~l) with c = -coeff > 0.
+        problem.objective.push_back({~lit, -coeff});
+        problem.objectiveOffset += coeff;
+      }
+      i += 2;
+    }
+    if (i == tokens.size()) throw OpbError("objective missing ';'");
+    ++i;  // consume ';'
+  }
+
+  // Constraints.
+  while (i < tokens.size()) {
+    std::vector<PbTerm> terms;
+    while (i < tokens.size() && !isRelop(tokens[i])) {
+      if (i + 1 >= tokens.size()) throw OpbError("truncated constraint");
+      const Weight coeff = parseCoeff(tokens[i]);
+      const Lit lit = parseLitToken(tokens[i + 1]);
+      noteVar(lit);
+      terms.push_back({lit, coeff});
+      i += 2;
+    }
+    if (i >= tokens.size()) throw OpbError("constraint missing relation");
+    const std::string relop = tokens[i++];
+    if (i >= tokens.size()) throw OpbError("constraint missing bound");
+    const Weight bound = parseCoeff(tokens[i++]);
+    if (i >= tokens.size() || tokens[i] != ";") {
+      throw OpbError("constraint missing ';'");
+    }
+    ++i;
+
+    if (relop == "<=" || relop == "=") {
+      problem.constraints.push_back({terms, bound});
+    }
+    if (relop == ">=" || relop == "=") {
+      // sum(c*l) >= b  <=>  sum(-c*l) <= -b.
+      std::vector<PbTerm> flipped = terms;
+      for (PbTerm& t : flipped) t.coeff = -t.coeff;
+      problem.constraints.push_back({std::move(flipped), -bound});
+    }
+  }
+
+  problem.numVars = maxVar + 1;
+  return problem;
+}
+
+PboProblem parseOpb(const std::string& text) {
+  std::istringstream in(text);
+  return readOpb(in);
+}
+
+void writeOpb(std::ostream& out, const PboProblem& problem) {
+  out << "* #variable= " << problem.numVars
+      << " #constraint= " << problem.constraints.size() << "\n";
+  if (problem.objectiveOffset != 0) {
+    out << "* objective offset " << problem.objectiveOffset
+        << " (not expressible in OPB; optimum values shift by it)\n";
+  }
+  if (!problem.objective.empty()) {
+    out << "min:";
+    for (const PbTerm& t : problem.objective) {
+      // Re-expand complemented literals: c*(~x) == c - c*x; the constant
+      // joins the (comment-only) offset.
+      if (t.lit.positive()) {
+        out << " +" << t.coeff << " x" << t.lit.var() + 1;
+      } else {
+        out << " -" << t.coeff << " x" << t.lit.var() + 1;
+      }
+    }
+    out << " ;\n";
+  }
+  for (const PbConstraint& pc : problem.constraints) {
+    bool first = true;
+    Weight bound = pc.bound;
+    for (const PbTerm& t : pc.terms) {
+      Weight coeff = t.coeff;
+      Var v = t.lit.var();
+      if (t.lit.negative()) {
+        // c*(~x) == c - c*x: move the constant to the bound.
+        bound -= coeff;
+        coeff = -coeff;
+      }
+      out << (first ? "" : " ") << (coeff >= 0 ? "+" : "") << coeff << " x"
+          << v + 1;
+      first = false;
+    }
+    if (pc.terms.empty()) out << "0 x1";
+    out << " <= " << bound << " ;\n";
+  }
+  // Clauses are not representable in pure OPB; emit them as >= 1
+  // pseudo-Boolean constraints.
+  for (const Clause& c : problem.clauses) {
+    bool first = true;
+    Weight bound = 1;
+    for (const Lit p : c) {
+      Weight coeff = 1;
+      if (p.negative()) {
+        bound -= 1;
+        coeff = -1;
+      }
+      out << (first ? "" : " ") << (coeff >= 0 ? "+" : "") << coeff << " x"
+          << p.var() + 1;
+      first = false;
+    }
+    if (c.empty()) out << "+1 x1 -1 x1";
+    out << " >= " << bound << " ;\n";
+  }
+}
+
+}  // namespace msu

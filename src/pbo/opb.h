@@ -1,0 +1,42 @@
+/// \file opb.h
+/// \brief Reader/writer for the OPB pseudo-Boolean competition format,
+///        the standard interchange format of the PBO community the
+///        paper's §2.2 baseline belongs to. Understands linear `min:`
+///        objectives and `>=` / `<=` / `=` constraints over `x<i>`
+///        variables, with `*` comment lines.
+///
+/// Normalization on read: `>=` flips into the engine's canonical `<=`
+/// form; `=` splits into two inequalities; negative objective
+/// coefficients are rewritten over complemented literals with a constant
+/// offset (`-c*x == -c + c*(~x)`), so `PboProblem::objective` always
+/// carries positive coefficients.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "pbo/pbo_solver.h"
+
+namespace msu {
+
+/// Error raised on malformed OPB input.
+class OpbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses an OPB stream. Throws OpbError on malformed input.
+[[nodiscard]] PboProblem readOpb(std::istream& in);
+
+/// Parses an OPB string.
+[[nodiscard]] PboProblem parseOpb(const std::string& text);
+
+/// Writes a PboProblem in OPB syntax. Only `<=` constraints and the
+/// positive-coefficient objective form are emitted (the canonical shape
+/// readOpb produces); complemented objective literals are written by
+/// re-expanding the offset rewrite.
+void writeOpb(std::ostream& out, const PboProblem& problem);
+
+}  // namespace msu

@@ -1,0 +1,71 @@
+#include "pbo/pbo_solver.h"
+
+#include "encodings/sink.h"
+
+namespace msu {
+
+PboSolver::PboSolver(PboOptions options) : opts_(options) {}
+
+PboResult PboSolver::solve(const PboProblem& problem) {
+  PboResult result;
+  Solver sat(opts_.sat);
+  sat.setBudget(opts_.budget);
+  SolverSink sink(sat);
+
+  while (sat.numVars() < problem.numVars) static_cast<void>(sat.newVar());
+  for (const Clause& c : problem.clauses) static_cast<void>(sat.addClause(c));
+  for (const PbConstraint& pc : problem.constraints) {
+    encodePbLeq(sink, pc.terms, pc.bound, opts_.encoding);
+  }
+
+  Weight best = 0;
+  bool haveModel = false;
+  Assignment bestModel;
+
+  auto objectiveValue = [&](const std::vector<lbool>& model) {
+    Weight v = 0;
+    for (const PbTerm& t : problem.objective) {
+      if (applySign(model[static_cast<std::size_t>(t.lit.var())], t.lit) ==
+          lbool::True) {
+        v += t.coeff;
+      }
+    }
+    return v;
+  };
+
+  while (true) {
+    ++result.iterations;
+    const lbool st = sat.solve();
+    if (st == lbool::Undef) {
+      result.status = PboStatus::Unknown;
+      break;
+    }
+    if (st == lbool::False) {
+      result.status = haveModel ? PboStatus::Optimum : PboStatus::Infeasible;
+      break;
+    }
+    best = objectiveValue(sat.model());
+    haveModel = true;
+    bestModel.assign(sat.model().begin(),
+                     sat.model().begin() + problem.numVars);
+    for (lbool& v : bestModel) {
+      if (v == lbool::Undef) v = lbool::False;
+    }
+    if (best == 0) {
+      result.status = PboStatus::Optimum;
+      break;
+    }
+    // Strengthen: demand a strictly better objective value.
+    encodePbLeq(sink, problem.objective, best - 1, opts_.encoding);
+  }
+
+  if (haveModel) {
+    result.objective = best + problem.objectiveOffset;
+    result.upperBound = best + problem.objectiveOffset;
+    result.model = std::move(bestModel);
+  }
+  result.satStats = sat.stats();
+  return result;
+}
+
+}  // namespace msu

@@ -1,0 +1,248 @@
+#include "proof/checker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msu {
+
+void RupChecker::ensureVars(int n) {
+  if (n > 0) ensureVar(n - 1);
+}
+
+void RupChecker::ensureVar(Var v) {
+  while (static_cast<std::size_t>(v) >= assigns_.size()) {
+    assigns_.push_back(lbool::Undef);
+    watches_.emplace_back();
+    watches_.emplace_back();
+  }
+}
+
+lbool RupChecker::value(Lit p) const {
+  return applySign(assigns_[static_cast<std::size_t>(p.var())], p);
+}
+
+void RupChecker::enqueue(Lit p) {
+  assigns_[static_cast<std::size_t>(p.var())] =
+      p.positive() ? lbool::True : lbool::False;
+  trail_.push_back(p);
+}
+
+bool RupChecker::propagateConflict() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    // Clauses with a watch on ~p (registered under p's index) just lost
+    // that watch to falsification.
+    std::vector<int>& ws = watches_[static_cast<std::size_t>(p.index())];
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const int id = ws[i];
+      DbClause& c = clauses_[static_cast<std::size_t>(id)];
+      if (!c.alive) continue;  // lazily dropped
+      // Normalize: watched literals are lits[0] and lits[1].
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == ~p);
+      if (value(c.lits[0]) == lbool::True) {
+        ws[j++] = id;  // satisfied by the other watch
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != lbool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back(
+              id);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[j++] = id;
+      if (value(c.lits[0]) == lbool::False) {
+        // Conflict: keep remaining watchers, report.
+        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[j++] = ws[k];
+        ws.resize(j);
+        return true;
+      }
+      enqueue(c.lits[0]);
+    }
+    ws.resize(j);
+  }
+  return false;
+}
+
+void RupChecker::attach(int id) {
+  DbClause& c = clauses_[static_cast<std::size_t>(id)];
+  assert(c.lits.size() >= 2);
+  // Prefer non-false literals as watches so the invariant holds under
+  // the current permanent assignment.
+  auto promote = [&](std::size_t slot) {
+    if (value(c.lits[slot]) != lbool::False) return;
+    for (std::size_t k = slot + 1; k < c.lits.size(); ++k) {
+      if (value(c.lits[k]) != lbool::False) {
+        std::swap(c.lits[slot], c.lits[k]);
+        return;
+      }
+    }
+  };
+  promote(0);
+  promote(1);
+  watches_[static_cast<std::size_t>((~c.lits[0]).index())].push_back(id);
+  watches_[static_cast<std::size_t>((~c.lits[1]).index())].push_back(id);
+}
+
+void RupChecker::detach(int id) {
+  DbClause& c = clauses_[static_cast<std::size_t>(id)];
+  for (int slot = 0; slot < 2; ++slot) {
+    auto& ws = watches_[static_cast<std::size_t>((~c.lits[static_cast<std::size_t>(slot)]).index())];
+    ws.erase(std::remove(ws.begin(), ws.end(), id), ws.end());
+  }
+}
+
+void RupChecker::install(std::span<const Lit> lits) {
+  for (const Lit p : lits) ensureVar(p.var());
+  if (lits.empty()) {
+    proved_unsat_ = true;
+    return;
+  }
+
+  // Normalize: sorted, duplicate-free; tautologies never propagate and
+  // are dropped entirely (their deletion later is a harmless no-op).
+  Clause sorted(lits.begin(), lits.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == ~sorted[i - 1]) return;  // tautology
+  }
+
+  const int id = static_cast<int>(clauses_.size());
+  clauses_.push_back({sorted, true});
+  index_[sorted].push_back(id);
+
+  if (clauses_.back().lits.size() >= 2) {
+    attach(id);
+  }
+  // Maintain the permanent trail: a unit (or a clause falsified by the
+  // permanent assignment) advances it.
+  bool satisfied = false;
+  Lit unassigned = kUndefLit;
+  int numUnassigned = 0;
+  for (const Lit p : clauses_.back().lits) {
+    const lbool v = value(p);
+    if (v == lbool::True) satisfied = true;
+    if (v == lbool::Undef) {
+      ++numUnassigned;
+      unassigned = p;
+    }
+  }
+  if (satisfied) return;
+  if (numUnassigned == 0) {
+    proved_unsat_ = true;
+    return;
+  }
+  if (numUnassigned == 1) {
+    enqueue(unassigned);
+    if (propagateConflict()) proved_unsat_ = true;
+  }
+}
+
+void RupChecker::addAxiom(std::span<const Lit> lits) { install(lits); }
+
+bool RupChecker::addLemma(std::span<const Lit> lits) {
+  ++lemmas_checked_;
+  if (proved_unsat_) {
+    install(lits);
+    return true;  // anything follows from a refuted database
+  }
+
+  // RUP: assume the negation on top of the permanent trail; propagation
+  // must yield a conflict.
+  const std::size_t mark = trail_.size();
+  const std::size_t qmark = qhead_;
+  bool conflict = false;
+  for (const Lit p : lits) {
+    ensureVar(p.var());
+    const lbool v = value(p);
+    if (v == lbool::True) {
+      conflict = true;  // ¬p contradicts the trail immediately
+      break;
+    }
+    if (v == lbool::Undef) enqueue(~p);
+  }
+  if (!conflict) conflict = propagateConflict();
+  rollbackTo(mark);
+  qhead_ = qmark;
+  if (!conflict) return false;
+  install(lits);
+  return true;
+}
+
+void RupChecker::rollbackTo(std::size_t trailSize) {
+  while (trail_.size() > trailSize) {
+    assigns_[static_cast<std::size_t>(trail_.back().var())] = lbool::Undef;
+    trail_.pop_back();
+  }
+}
+
+void RupChecker::deleteClause(std::span<const Lit> lits) {
+  Clause sorted(lits.begin(), lits.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const auto it = index_.find(sorted);
+  if (it == index_.end() || it->second.empty()) return;
+  const int id = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) index_.erase(it);
+  DbClause& c = clauses_[static_cast<std::size_t>(id)];
+  if (c.lits.size() >= 2) detach(id);
+  c.alive = false;
+}
+
+namespace {
+
+ProofCheckResult replay(RupChecker& checker,
+                        const std::vector<ProofLine>& lines) {
+  ProofCheckResult result;
+  result.ok = true;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const ProofLine& line = lines[i];
+    switch (line.kind) {
+      case ProofLine::Kind::Axiom:
+        checker.addAxiom(line.lits);
+        break;
+      case ProofLine::Kind::Lemma:
+        if (!checker.addLemma(line.lits)) {
+          result.ok = false;
+          result.firstBadLine = static_cast<int>(i);
+          result.lemmasChecked = checker.lemmasChecked();
+          return result;
+        }
+        break;
+      case ProofLine::Kind::Delete:
+        checker.deleteClause(line.lits);
+        break;
+    }
+  }
+  result.lemmasChecked = checker.lemmasChecked();
+  result.refutationVerified = checker.provedUnsat();
+  return result;
+}
+
+}  // namespace
+
+ProofCheckResult checkProof(const std::vector<ProofLine>& lines) {
+  RupChecker checker;
+  return replay(checker, lines);
+}
+
+ProofCheckResult checkProof(const CnfFormula& cnf,
+                            const std::vector<ProofLine>& lines) {
+  RupChecker checker;
+  checker.ensureVars(cnf.numVars());
+  for (const Clause& c : cnf.clauses()) checker.addAxiom(c);
+  return replay(checker, lines);
+}
+
+}  // namespace msu

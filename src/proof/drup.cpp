@@ -1,0 +1,97 @@
+#include "proof/drup.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace msu {
+
+std::int64_t InMemoryProof::numLemmas() const {
+  std::int64_t n = 0;
+  for (const ProofLine& l : lines_) {
+    if (l.kind == ProofLine::Kind::Lemma) ++n;
+  }
+  return n;
+}
+
+bool InMemoryProof::claimsRefutation() const {
+  for (const ProofLine& l : lines_) {
+    if (l.kind == ProofLine::Kind::Lemma && l.lits.empty()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void writeClauseLine(std::ostream& out, std::span<const Lit> lits,
+                     bool deletion) {
+  if (deletion) out << "d ";
+  for (const Lit p : lits) out << p.toDimacs() << ' ';
+  out << "0\n";
+}
+
+}  // namespace
+
+void DrupWriter::axiom(std::span<const Lit> /*lits*/) {}
+
+void DrupWriter::lemma(std::span<const Lit> lits) {
+  writeClauseLine(*out_, lits, /*deletion=*/false);
+}
+
+void DrupWriter::deleted(std::span<const Lit> lits) {
+  writeClauseLine(*out_, lits, /*deletion=*/true);
+}
+
+std::optional<std::vector<ProofLine>> parseDrup(std::istream& in) {
+  std::vector<ProofLine> lines;
+  std::string token;
+  ProofLine current;
+  current.kind = ProofLine::Kind::Lemma;
+  bool inClause = false;
+  while (in >> token) {
+    if (token == "d") {
+      if (inClause) return std::nullopt;  // 'd' mid-clause
+      current.kind = ProofLine::Kind::Delete;
+      continue;
+    }
+    std::int64_t value = 0;
+    try {
+      std::size_t pos = 0;
+      value = std::stoll(token, &pos);
+      if (pos != token.size()) return std::nullopt;
+    } catch (...) {
+      return std::nullopt;
+    }
+    if (value == 0) {
+      lines.push_back(std::move(current));
+      current = ProofLine{};
+      current.kind = ProofLine::Kind::Lemma;
+      inClause = false;
+    } else {
+      current.lits.push_back(Lit::fromDimacs(static_cast<std::int32_t>(value)));
+      inClause = true;
+    }
+  }
+  if (inClause || current.kind == ProofLine::Kind::Delete) {
+    return std::nullopt;  // truncated final clause
+  }
+  return lines;
+}
+
+void writeDrup(std::ostream& out, const std::vector<ProofLine>& lines) {
+  for (const ProofLine& l : lines) {
+    switch (l.kind) {
+      case ProofLine::Kind::Axiom:
+        break;  // carried by the CNF input
+      case ProofLine::Kind::Lemma:
+        writeClauseLine(out, l.lits, /*deletion=*/false);
+        break;
+      case ProofLine::Kind::Delete:
+        writeClauseLine(out, l.lits, /*deletion=*/true);
+        break;
+    }
+  }
+}
+
+}  // namespace msu

@@ -1,0 +1,84 @@
+/// \file drup.h
+/// \brief Clausal proof recording: an in-memory recorder and a DRUP text
+///        writer/parser for the solver's ProofTracer events.
+///
+/// The DRUP text format is the standard one consumed by independent
+/// checkers (drat-trim and descendants): one clause per line in DIMACS
+/// literals terminated by 0, deletions prefixed with `d`. Axioms are not
+/// written — the original CNF file carries them — so a (cnf, drup)
+/// pair is externally checkable, while the in-memory form keeps axioms
+/// inline to support the incremental clause additions MaxSAT engines
+/// perform mid-solve.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "sat/proof_tracer.h"
+
+namespace msu {
+
+/// One recorded proof event.
+struct ProofLine {
+  enum class Kind {
+    Axiom,   ///< user clause; checker adds it unverified
+    Lemma,   ///< derived clause; checker verifies RUP
+    Delete,  ///< clause removed from the database
+  };
+  Kind kind = Kind::Lemma;
+  Clause lits;
+};
+
+/// Tracer that records every event in memory, in order.
+class InMemoryProof final : public ProofTracer {
+ public:
+  void axiom(std::span<const Lit> lits) override {
+    lines_.push_back({ProofLine::Kind::Axiom, Clause(lits.begin(), lits.end())});
+  }
+  void lemma(std::span<const Lit> lits) override {
+    lines_.push_back({ProofLine::Kind::Lemma, Clause(lits.begin(), lits.end())});
+  }
+  void deleted(std::span<const Lit> lits) override {
+    lines_.push_back({ProofLine::Kind::Delete, Clause(lits.begin(), lits.end())});
+  }
+
+  [[nodiscard]] const std::vector<ProofLine>& lines() const { return lines_; }
+
+  /// Number of recorded lemmas (derived clauses).
+  [[nodiscard]] std::int64_t numLemmas() const;
+
+  /// True iff an empty-clause lemma was recorded (claimed refutation).
+  [[nodiscard]] bool claimsRefutation() const;
+
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<ProofLine> lines_;
+};
+
+/// Tracer that streams DRUP text to an ostream (axioms are skipped; the
+/// CNF input file carries them). The stream must outlive the tracer.
+class DrupWriter final : public ProofTracer {
+ public:
+  explicit DrupWriter(std::ostream& out) : out_(&out) {}
+
+  void axiom(std::span<const Lit> lits) override;
+  void lemma(std::span<const Lit> lits) override;
+  void deleted(std::span<const Lit> lits) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses DRUP text (lemma and `d` lines). Returns nullopt on malformed
+/// input. Axiom lines do not exist in the format.
+[[nodiscard]] std::optional<std::vector<ProofLine>> parseDrup(
+    std::istream& in);
+
+/// Writes the lemma/delete lines of a recorded proof as DRUP text.
+void writeDrup(std::ostream& out, const std::vector<ProofLine>& lines);
+
+}  // namespace msu

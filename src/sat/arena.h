@@ -1,0 +1,175 @@
+/// \file arena.h
+/// \brief Clause storage for the CDCL engine: a contiguous arena of
+///        32-bit words with relocation-based garbage collection, in the
+///        MiniSat tradition. Clause references (CRef) are stable offsets
+///        until a GC, at which point every holder relocates through
+///        ClauseArena::reloc().
+
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+
+namespace msu {
+
+/// Reference to a clause inside a ClauseArena (word offset).
+using CRef = std::uint32_t;
+
+/// Sentinel for "no clause".
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Mutable view over a clause stored in an arena.
+///
+/// Layout (32-bit words):
+///   word 0: header — size<<3 | relocated<<2 | deleted<<1 | learnt
+///   word 1: float activity       (learnt clauses only)
+///   word 2: LBD / glue level     (learnt clauses only)
+///   then `size` literal words.
+class ClauseRefView {
+ public:
+  explicit ClauseRefView(std::uint32_t* base) : base_(base) {}
+
+  [[nodiscard]] int size() const { return static_cast<int>(base_[0] >> 3); }
+  [[nodiscard]] bool learnt() const { return (base_[0] & 1u) != 0; }
+  [[nodiscard]] bool deleted() const { return (base_[0] & 2u) != 0; }
+  [[nodiscard]] bool relocated() const { return (base_[0] & 4u) != 0; }
+
+  void markDeleted() { base_[0] |= 2u; }
+
+  /// Activity of a learnt clause.
+  [[nodiscard]] float activity() const {
+    assert(learnt());
+    return std::bit_cast<float>(base_[1]);
+  }
+  void setActivity(float a) {
+    assert(learnt());
+    base_[1] = std::bit_cast<std::uint32_t>(a);
+  }
+
+  /// Literal-block distance (number of distinct decision levels at
+  /// learning time; Glucose's "glue").
+  [[nodiscard]] std::uint32_t lbd() const {
+    assert(learnt());
+    return base_[2];
+  }
+  void setLbd(std::uint32_t lbd) {
+    assert(learnt());
+    base_[2] = lbd;
+  }
+
+  [[nodiscard]] Lit& operator[](int i) {
+    assert(i >= 0 && i < size());
+    return *reinterpret_cast<Lit*>(&litBase()[i]);
+  }
+  [[nodiscard]] Lit operator[](int i) const {
+    assert(i >= 0 && i < size());
+    return Lit::fromIndex(static_cast<std::int32_t>(litBase()[i]));
+  }
+
+  /// Read-only span over the literals.
+  [[nodiscard]] std::span<const Lit> lits() const {
+    return {reinterpret_cast<const Lit*>(litBase()),
+            static_cast<std::size_t>(size())};
+  }
+
+  /// Shrinks the clause to its first `newSize` literals.
+  void shrink(int newSize) {
+    assert(newSize >= 0 && newSize <= size());
+    base_[0] = (static_cast<std::uint32_t>(newSize) << 3) | (base_[0] & 7u);
+  }
+
+  /// Forwarding pointer support for GC relocation.
+  void setRelocated(CRef to) {
+    base_[0] |= 4u;
+    litBase()[0] = to;
+  }
+  [[nodiscard]] CRef relocation() const {
+    assert(relocated());
+    return litBase()[0];
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t* litBase() const {
+    return base_ + (learnt() ? 3 : 1);
+  }
+
+  std::uint32_t* base_;
+};
+
+/// Arena allocator for clauses with copying garbage collection.
+class ClauseArena {
+ public:
+  ClauseArena() { mem_.reserve(1u << 16); }
+
+  /// Allocates a clause; returns its reference.
+  [[nodiscard]] CRef alloc(std::span<const Lit> lits, bool learnt) {
+    const auto size = static_cast<std::uint32_t>(lits.size());
+    const CRef ref = static_cast<CRef>(mem_.size());
+    mem_.push_back((size << 3) | (learnt ? 1u : 0u));
+    if (learnt) {
+      mem_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+      mem_.push_back(0u);  // LBD, set by the solver after analysis
+    }
+    for (Lit p : lits) {
+      mem_.push_back(static_cast<std::uint32_t>(p.index()));
+    }
+    return ref;
+  }
+
+  /// View over the clause at `ref`.
+  [[nodiscard]] ClauseRefView operator[](CRef ref) {
+    assert(ref < mem_.size());
+    return ClauseRefView(mem_.data() + ref);
+  }
+  [[nodiscard]] const ClauseRefView operator[](CRef ref) const {
+    assert(ref < mem_.size());
+    return ClauseRefView(const_cast<std::uint32_t*>(mem_.data()) + ref);
+  }
+
+  /// Records that a clause of the given stored size was logically freed.
+  void markWasted(int clauseSize, bool learnt) {
+    wasted_ += static_cast<std::uint32_t>(clauseSize) + (learnt ? 3u : 1u);
+  }
+
+  /// Words logically wasted by deleted clauses.
+  [[nodiscard]] std::size_t wasted() const { return wasted_; }
+
+  /// Total words in use.
+  [[nodiscard]] std::size_t size() const { return mem_.size(); }
+
+  /// Moves the clause at `ref` into `to`, leaving a forwarding pointer,
+  /// and updates `ref` in place. Safe to call repeatedly for the same
+  /// clause through different holders.
+  void reloc(CRef& ref, ClauseArena& to) {
+    ClauseRefView c = (*this)[ref];
+    if (c.relocated()) {
+      ref = c.relocation();
+      return;
+    }
+    const CRef fresh = to.alloc(c.lits(), c.learnt());
+    if (c.learnt()) {
+      to[fresh].setActivity(c.activity());
+      to[fresh].setLbd(c.lbd());
+    }
+    if (c.deleted()) to[fresh].markDeleted();
+    c.setRelocated(fresh);
+    ref = fresh;
+  }
+
+  /// Steals the contents of `other` (used to finish a GC cycle).
+  void adopt(ClauseArena&& other) {
+    mem_ = std::move(other.mem_);
+    wasted_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace msu

@@ -1,0 +1,89 @@
+/// \file budget.h
+/// \brief Resource budgets shared by all solvers in the library.
+///
+/// The DATE'08 evaluation aborts solvers at a wall-clock timeout. We
+/// reproduce "aborted instances" accounting with cooperative budgets:
+/// every solver polls a Budget (wall clock, conflicts, search nodes) and
+/// returns an *unknown* outcome when it is exhausted. No signals, no
+/// processes — portable and deterministic enough for CI.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace msu {
+
+/// A cooperative resource budget. Default-constructed budgets are
+/// unlimited. All limits are cumulative for the solver instance polling
+/// them (a MaxSAT engine shares one budget across all its SAT calls).
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Budget() = default;
+
+  /// Unlimited budget.
+  [[nodiscard]] static Budget unlimited() { return Budget{}; }
+
+  /// Budget expiring `seconds` of wall-clock time from now.
+  [[nodiscard]] static Budget wallClock(double seconds) {
+    Budget b;
+    b.setWallClock(seconds);
+    return b;
+  }
+
+  /// Budget limited to `n` SAT conflicts (cumulative).
+  [[nodiscard]] static Budget conflicts(std::int64_t n) {
+    Budget b;
+    b.max_conflicts_ = n;
+    return b;
+  }
+
+  /// Sets/overwrites the wall-clock deadline to `seconds` from now.
+  void setWallClock(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+  }
+
+  /// Sets the cumulative conflict limit.
+  void setMaxConflicts(std::int64_t n) { max_conflicts_ = n; }
+
+  /// Sets the cumulative branch-and-bound node limit.
+  void setMaxNodes(std::int64_t n) { max_nodes_ = n; }
+
+  [[nodiscard]] std::optional<std::int64_t> maxConflicts() const {
+    return max_conflicts_;
+  }
+  [[nodiscard]] std::optional<std::int64_t> maxNodes() const {
+    return max_nodes_;
+  }
+
+  /// True iff a wall-clock deadline exists and has passed.
+  [[nodiscard]] bool timeExpired() const {
+    return deadline_ && Clock::now() >= *deadline_;
+  }
+
+  /// True iff the cumulative conflict count exceeds the limit.
+  [[nodiscard]] bool conflictsExhausted(std::int64_t conflicts) const {
+    return max_conflicts_ && conflicts >= *max_conflicts_;
+  }
+
+  /// True iff the cumulative node count exceeds the limit.
+  [[nodiscard]] bool nodesExhausted(std::int64_t nodes) const {
+    return max_nodes_ && nodes >= *max_nodes_;
+  }
+
+  /// True iff no limit of any kind is set.
+  [[nodiscard]] bool isUnlimited() const {
+    return !deadline_ && !max_conflicts_ && !max_nodes_;
+  }
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+  std::optional<std::int64_t> max_conflicts_;
+  std::optional<std::int64_t> max_nodes_;
+};
+
+}  // namespace msu

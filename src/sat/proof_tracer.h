@@ -1,0 +1,45 @@
+/// \file proof_tracer.h
+/// \brief Hook interface through which the CDCL solver emits a clausal
+///        (DRUP) proof trace. Zhang & Malik's DATE'03 checker — reference
+///        [27] of the paper — is the ancestor of this scheme: every
+///        clause the solver learns is logged and can be re-derived by an
+///        independent reverse-unit-propagation check.
+///
+/// The solver calls the tracer with three kinds of events:
+///  * axiom    — a clause added by the user (`Solver::addClause`), an
+///               input of the proof, not subject to checking;
+///  * lemma    — a clause the solver derived (learnt clauses, clauses
+///               strengthened at level 0, the empty clause on
+///               refutation); each must hold by unit propagation;
+///  * deletion — a clause the solver discarded (clause-database
+///               reduction, satisfied-clause removal).
+///
+/// Implementations live in `src/proof/` (in-memory recorder, DRUP text
+/// writer); the solver only depends on this narrow interface.
+
+#pragma once
+
+#include <span>
+
+#include "cnf/literal.h"
+
+namespace msu {
+
+/// Receiver of solver proof events. All methods must tolerate being
+/// called at any point of the solve; spans are only valid for the call.
+class ProofTracer {
+ public:
+  virtual ~ProofTracer() = default;
+
+  /// A user-supplied clause entered the database (proof input).
+  virtual void axiom(std::span<const Lit> lits) = 0;
+
+  /// The solver derived `lits` (RUP w.r.t. the database at this point).
+  /// An empty span is the empty clause: the database is refuted.
+  virtual void lemma(std::span<const Lit> lits) = 0;
+
+  /// The solver removed a clause from the database.
+  virtual void deleted(std::span<const Lit> lits) = 0;
+};
+
+}  // namespace msu

@@ -1,0 +1,667 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace msu {
+
+namespace {
+/// Activity ceiling before rescaling.
+constexpr double kVarRescaleLimit = 1e100;
+constexpr float kClaRescaleLimit = 1e20f;
+}  // namespace
+
+double lubySequence(double y, int i) {
+  // Find the finite subsequence containing index i, and its size.
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+Solver::Solver(const Options& opts) : opts_(opts), order_heap_(activity_) {}
+
+Var Solver::newVar(bool decisionVar) {
+  const Var v = numVars();
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assigns_.push_back(lbool::Undef);
+  vardata_.push_back(VarData{});
+  polarity_.push_back(1);  // default phase: assign false first
+  decision_.push_back(decisionVar ? 1 : 0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  if (decisionVar) order_heap_.insert(v);
+  return v;
+}
+
+bool Solver::addClause(std::span<const Lit> lits) {
+  assert(decisionLevel() == 0);
+  if (!ok_) return false;
+  traceAxiom(lits);
+
+  // Sort and simplify against the level-0 assignment.
+  std::vector<Lit> ps(lits.begin(), lits.end());
+  std::sort(ps.begin(), ps.end());
+  Lit prev = kUndefLit;
+  std::size_t j = 0;
+  for (Lit p : ps) {
+    assert(p.var() < numVars());
+    if (value(p) == lbool::True || p == ~prev) return true;  // satisfied/taut
+    if (value(p) != lbool::False && p != prev) {
+      ps[j++] = p;
+      prev = p;
+    }
+  }
+  ps.resize(j);
+
+  // Level-0 strengthening is itself a unit-propagation consequence;
+  // record it so the checker's database matches the solver's.
+  if (ps.size() != lits.size()) traceLemma(ps);
+
+  if (ps.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (ps.size() == 1) {
+    uncheckedEnqueue(ps[0]);
+    ok_ = (propagate() == kCRefUndef);
+    if (!ok_) traceLemma({});  // level-0 conflict refutes the database
+    return ok_;
+  }
+  const CRef ref = arena_.alloc(ps, /*learnt=*/false);
+  clauses_.push_back(ref);
+  attachClause(ref);
+  return true;
+}
+
+void Solver::attachClause(CRef ref) {
+  ClauseRefView c = arena_[ref];
+  assert(c.size() > 1);
+  watches_[(~c[0]).index()].push_back(Watcher{ref, c[1]});
+  watches_[(~c[1]).index()].push_back(Watcher{ref, c[0]});
+}
+
+void Solver::detachClause(CRef ref) {
+  ClauseRefView c = arena_[ref];
+  assert(c.size() > 1);
+  auto strip = [&](std::vector<Watcher>& ws) {
+    ws.erase(std::remove_if(ws.begin(), ws.end(),
+                            [&](const Watcher& w) { return w.cref == ref; }),
+             ws.end());
+  };
+  strip(watches_[(~c[0]).index()]);
+  strip(watches_[(~c[1]).index()]);
+}
+
+void Solver::removeClause(CRef ref) {
+  ClauseRefView c = arena_[ref];
+  if (opts_.tracer != nullptr) {
+    std::vector<Lit> lits;
+    lits.reserve(static_cast<std::size_t>(c.size()));
+    for (int k = 0; k < c.size(); ++k) lits.push_back(c[k]);
+    traceDeleted(lits);
+  }
+  detachClause(ref);
+  // A reason clause must not keep dangling references.
+  if (locked(ref)) vardata_[c[0].var()].reason = kCRefUndef;
+  arena_.markWasted(c.size(), c.learnt());
+  c.markDeleted();
+}
+
+bool Solver::locked(CRef ref) const {
+  const ClauseRefView c = arena_[ref];
+  const Lit p = c[0];
+  return value(p) == lbool::True && reason(p.var()) == ref;
+}
+
+void Solver::uncheckedEnqueue(Lit p, CRef from) {
+  assert(value(p) == lbool::Undef);
+  assigns_[p.var()] = toLbool(p.positive());
+  vardata_[p.var()] = VarData{from, decisionLevel()};
+  trail_.push_back(p);
+}
+
+CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trailSize()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p.index()];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const std::size_t end = ws.size();
+    while (i != end) {
+      // Try the blocker first to avoid touching the clause.
+      const Watcher w = ws[i];
+      if (value(w.blocker) == lbool::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+
+      ClauseRefView c = arena_[w.cref];
+      // Make sure the false literal is at position 1.
+      const Lit falseLit = ~p;
+      if (c[0] == falseLit) {
+        c[0] = c[1];
+        c[1] = falseLit;
+      }
+      assert(c[1] == falseLit);
+      ++i;
+
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == lbool::True) {
+        ws[j++] = Watcher{w.cref, first};
+        continue;
+      }
+
+      // Look for a new literal to watch.
+      bool foundWatch = false;
+      for (int k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != lbool::False) {
+          c[1] = c[k];
+          c[k] = falseLit;
+          watches_[(~c[1]).index()].push_back(Watcher{w.cref, first});
+          foundWatch = true;
+          break;
+        }
+      }
+      if (foundWatch) continue;
+
+      // Clause is unit or conflicting.
+      ws[j++] = Watcher{w.cref, first};
+      if (value(first) == lbool::False) {
+        confl = w.cref;
+        qhead_ = trailSize();
+        while (i != end) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(first, w.cref);
+      }
+    }
+    ws.resize(j);
+    if (confl != kCRefUndef) break;
+  }
+  return confl;
+}
+
+void Solver::cancelUntil(int level) {
+  if (decisionLevel() <= level) return;
+  for (int i = trailSize() - 1; i >= trail_lim_[level]; --i) {
+    const Var v = trail_[i].var();
+    assigns_[v] = lbool::Undef;
+    if (opts_.phase_saving) {
+      polarity_[v] = trail_[i].positive() ? 0 : 1;
+    }
+    if (decision_[v] && !order_heap_.contains(v)) order_heap_.insert(v);
+  }
+  qhead_ = trail_lim_[level];
+  trail_.resize(trail_lim_[level]);
+  trail_lim_.resize(level);
+}
+
+Lit Solver::pickBranchLit() {
+  while (!order_heap_.empty()) {
+    const Var v = order_heap_.removeMax();
+    if (assigns_[v] == lbool::Undef && decision_[v]) {
+      return Lit(v, polarity_[v] != 0);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::varBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kVarRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.update(v);
+}
+
+void Solver::claBumpActivity(ClauseRefView c) {
+  c.setActivity(c.activity() + static_cast<float>(cla_inc_));
+  if (c.activity() > kClaRescaleLimit) {
+    for (CRef ref : learnts_) {
+      ClauseRefView lc = arena_[ref];
+      lc.setActivity(lc.activity() * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
+                     int& outBtLevel) {
+  int pathC = 0;
+  Lit p = kUndefLit;
+  outLearnt.clear();
+  outLearnt.push_back(kUndefLit);  // placeholder for the asserting literal
+  int index = trailSize() - 1;
+
+  do {
+    assert(confl != kCRefUndef);
+    ClauseRefView c = arena_[confl];
+    if (c.learnt()) claBumpActivity(c);
+
+    for (int k = (p == kUndefLit) ? 0 : 1; k < c.size(); ++k) {
+      const Lit q = c[k];
+      const Var v = q.var();
+      if (!seen_[v] && level(v) > 0) {
+        varBumpActivity(v);
+        seen_[v] = 1;
+        if (level(v) >= decisionLevel()) {
+          ++pathC;
+        } else {
+          outLearnt.push_back(q);
+        }
+      }
+    }
+
+    // Select next literal on the trail to expand.
+    while (!seen_[trail_[index--].var()]) {
+    }
+    p = trail_[index + 1];
+    confl = reason(p.var());
+    seen_[p.var()] = 0;
+    --pathC;
+  } while (pathC > 0);
+  outLearnt[0] = ~p;
+
+  // Conflict clause minimization.
+  analyze_toclear_ = outLearnt;
+  std::size_t j = 1;
+  if (opts_.ccmin_mode == 2) {
+    std::uint32_t abstractLevel = 0;
+    for (std::size_t i = 1; i < outLearnt.size(); ++i) {
+      abstractLevel |= 1u << (level(outLearnt[i].var()) & 31);
+    }
+    for (std::size_t i = 1; i < outLearnt.size(); ++i) {
+      if (reason(outLearnt[i].var()) == kCRefUndef ||
+          !litRedundant(outLearnt[i], abstractLevel)) {
+        outLearnt[j++] = outLearnt[i];
+      }
+    }
+  } else if (opts_.ccmin_mode == 1) {
+    for (std::size_t i = 1; i < outLearnt.size(); ++i) {
+      const CRef r = reason(outLearnt[i].var());
+      if (r == kCRefUndef) {
+        outLearnt[j++] = outLearnt[i];
+        continue;
+      }
+      ClauseRefView c = arena_[r];
+      bool keep = false;
+      for (int k = 1; k < c.size(); ++k) {
+        if (!seen_[c[k].var()] && level(c[k].var()) > 0) {
+          keep = true;
+          break;
+        }
+      }
+      if (keep) outLearnt[j++] = outLearnt[i];
+    }
+  } else {
+    j = outLearnt.size();
+  }
+  stats_.minimized_literals +=
+      static_cast<std::int64_t>(outLearnt.size() - j);
+  outLearnt.resize(j);
+
+  // Find the backtrack level (second highest level in the clause).
+  if (outLearnt.size() == 1) {
+    outBtLevel = 0;
+  } else {
+    std::size_t maxI = 1;
+    for (std::size_t i = 2; i < outLearnt.size(); ++i) {
+      if (level(outLearnt[i].var()) > level(outLearnt[maxI].var())) maxI = i;
+    }
+    std::swap(outLearnt[1], outLearnt[maxI]);
+    outBtLevel = level(outLearnt[1].var());
+  }
+
+  for (Lit q : analyze_toclear_) seen_[q.var()] = 0;
+}
+
+bool Solver::litRedundant(Lit p, std::uint32_t abstractLevels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const std::size_t topClear = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason(q.var()) != kCRefUndef);
+    ClauseRefView c = arena_[reason(q.var())];
+    for (int k = 1; k < c.size(); ++k) {
+      const Lit r = c[k];
+      const Var v = r.var();
+      if (seen_[v] || level(v) == 0) continue;
+      if (reason(v) != kCRefUndef &&
+          ((1u << (level(v) & 31)) & abstractLevels) != 0) {
+        seen_[v] = 1;
+        analyze_stack_.push_back(r);
+        analyze_toclear_.push_back(r);
+      } else {
+        // Cannot be resolved away: undo the marks made in this call.
+        for (std::size_t k2 = topClear; k2 < analyze_toclear_.size(); ++k2) {
+          seen_[analyze_toclear_[k2].var()] = 0;
+        }
+        analyze_toclear_.resize(topClear);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyzeFinal(Lit p, std::vector<Lit>& outConflict) {
+  outConflict.clear();
+  outConflict.push_back(p);
+  if (decisionLevel() == 0) return;
+
+  seen_[p.var()] = 1;
+  for (int i = trailSize() - 1; i >= trail_lim_[0]; --i) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reason(v) == kCRefUndef) {
+      assert(level(v) > 0);
+      outConflict.push_back(~trail_[i]);
+    } else {
+      ClauseRefView c = arena_[reason(v)];
+      for (int k = 1; k < c.size(); ++k) {
+        if (level(c[k].var()) > 0) seen_[c[k].var()] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+std::uint32_t Solver::computeLbd(std::span<const Lit> lits) {
+  // Number of distinct decision levels among the literals. Learnt
+  // clauses are short; a sort beats a stamp array here.
+  lbd_scratch_.clear();
+  for (const Lit p : lits) lbd_scratch_.push_back(level(p.var()));
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  lbd_scratch_.erase(std::unique(lbd_scratch_.begin(), lbd_scratch_.end()),
+                     lbd_scratch_.end());
+  return static_cast<std::uint32_t>(lbd_scratch_.size());
+}
+
+void Solver::reduceDB() {
+  if (opts_.lbd_reduce) {
+    // Glucose-style: delete high-LBD clauses first, keep "glue" clauses
+    // (LBD <= 2) unconditionally.
+    std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+      const ClauseRefView ca = arena_[a];
+      const ClauseRefView cb = arena_[b];
+      if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+      return ca.activity() < cb.activity();
+    });
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < learnts_.size(); ++i) {
+      ClauseRefView c = arena_[learnts_[i]];
+      if (c.size() > 2 && c.lbd() > 2 && !locked(learnts_[i]) &&
+          i < learnts_.size() / 2) {
+        removeClause(learnts_[i]);
+        ++stats_.removed_clauses;
+      } else {
+        learnts_[j++] = learnts_[i];
+      }
+    }
+    learnts_.resize(j);
+    garbageCollectIfNeeded();
+    return;
+  }
+  // MiniSat-style: sort by (binary & activity), keep small active ones.
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    const ClauseRefView ca = arena_[a];
+    const ClauseRefView cb = arena_[b];
+    if ((ca.size() > 2) != (cb.size() > 2)) return ca.size() > 2;
+    return ca.activity() < cb.activity();
+  });
+  const double extraLim =
+      cla_inc_ / std::max<std::size_t>(learnts_.size(), 1);
+
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    ClauseRefView c = arena_[learnts_[i]];
+    if (c.size() > 2 && !locked(learnts_[i]) &&
+        (i < learnts_.size() / 2 || c.activity() < extraLim)) {
+      removeClause(learnts_[i]);
+      ++stats_.removed_clauses;
+    } else {
+      learnts_[j++] = learnts_[i];
+    }
+  }
+  learnts_.resize(j);
+  garbageCollectIfNeeded();
+}
+
+void Solver::removeSatisfied(std::vector<CRef>& refs) {
+  std::size_t j = 0;
+  for (CRef ref : refs) {
+    ClauseRefView c = arena_[ref];
+    bool sat = false;
+    for (int k = 0; k < c.size(); ++k) {
+      if (value(c[k]) == lbool::True) {
+        sat = true;
+        break;
+      }
+    }
+    if (sat) {
+      removeClause(ref);
+    } else {
+      refs[j++] = ref;
+    }
+  }
+  refs.resize(j);
+}
+
+bool Solver::simplify() {
+  assert(decisionLevel() == 0);
+  if (!ok_ || propagate() != kCRefUndef) {
+    if (ok_) traceLemma({});  // fresh level-0 conflict: database refuted
+    ok_ = false;
+    return false;
+  }
+  if (trailSize() == simp_db_assigns_) return true;
+
+  removeSatisfied(learnts_);
+  removeSatisfied(clauses_);
+  garbageCollectIfNeeded();
+  rebuildOrderHeap();
+  simp_db_assigns_ = trailSize();
+  return true;
+}
+
+void Solver::rebuildOrderHeap() {
+  std::vector<Var> vs;
+  vs.reserve(static_cast<std::size_t>(numVars()));
+  for (Var v = 0; v < numVars(); ++v) {
+    if (decision_[v] && assigns_[v] == lbool::Undef) vs.push_back(v);
+  }
+  order_heap_.build(vs);
+}
+
+void Solver::garbageCollectIfNeeded() {
+  if (arena_.wasted() <
+      static_cast<std::size_t>(
+          static_cast<double>(arena_.size()) * opts_.garbage_frac)) {
+    return;
+  }
+  ClauseArena to;
+  relocAll(to);
+  arena_.adopt(std::move(to));
+  ++stats_.gc_runs;
+}
+
+void Solver::relocAll(ClauseArena& to) {
+  // Watchers.
+  for (std::vector<Watcher>& ws : watches_) {
+    for (Watcher& w : ws) arena_.reloc(w.cref, to);
+  }
+  // Reasons (only those still locked are live; others may be stale).
+  for (Lit p : trail_) {
+    const Var v = p.var();
+    CRef& r = vardata_[v].reason;
+    if (r == kCRefUndef) continue;
+    if (arena_[r].deleted() && !locked(r)) {
+      r = kCRefUndef;
+    } else {
+      arena_.reloc(r, to);
+    }
+  }
+  // Clause lists.
+  for (CRef& ref : learnts_) arena_.reloc(ref, to);
+  for (CRef& ref : clauses_) arena_.reloc(ref, to);
+}
+
+bool Solver::withinBudget() const {
+  if (budget_.conflictsExhausted(stats_.conflicts)) return false;
+  // Wall-clock checks are amortized by the caller (search loop).
+  return true;
+}
+
+lbool Solver::search(std::int64_t conflictsBeforeRestart) {
+  assert(ok_);
+  std::int64_t conflictC = 0;
+  std::vector<Lit> learntClause;
+
+  while (true) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      // Conflict.
+      ++stats_.conflicts;
+      ++conflictC;
+      if (decisionLevel() == 0) {
+        traceLemma({});  // conflict below all assumptions: refutation
+        return lbool::False;
+      }
+
+      int backtrackLevel = 0;
+      analyze(confl, learntClause, backtrackLevel);
+      traceLemma(learntClause);
+      cancelUntil(backtrackLevel);
+
+      if (learntClause.size() == 1) {
+        uncheckedEnqueue(learntClause[0]);
+      } else {
+        const CRef ref = arena_.alloc(learntClause, /*learnt=*/true);
+        arena_[ref].setLbd(computeLbd(learntClause));
+        learnts_.push_back(ref);
+        attachClause(ref);
+        claBumpActivity(arena_[ref]);
+        uncheckedEnqueue(learntClause[0], ref);
+      }
+      ++stats_.learnt_clauses;
+      stats_.learnt_literals +=
+          static_cast<std::int64_t>(learntClause.size());
+
+      varDecayActivity();
+      claDecayActivity();
+
+      if ((stats_.conflicts & 255) == 0 && budget_.timeExpired()) {
+        cancelUntil(0);
+        return lbool::Undef;
+      }
+    } else {
+      // No conflict.
+      if ((conflictsBeforeRestart >= 0 &&
+           conflictC >= conflictsBeforeRestart) ||
+          !withinBudget()) {
+        cancelUntil(0);
+        return withinBudget() ? lbool::Undef : lbool::Undef;
+      }
+
+      if (decisionLevel() == 0 && !simplify()) return lbool::False;
+
+      if (static_cast<double>(numLearnts()) - trailSize() >= max_learnts_) {
+        reduceDB();
+      }
+
+      Lit next = kUndefLit;
+      while (decisionLevel() < static_cast<int>(assumptions_.size())) {
+        const Lit p = assumptions_[decisionLevel()];
+        if (value(p) == lbool::True) {
+          newDecisionLevel();  // dummy level, already satisfied
+        } else if (value(p) == lbool::False) {
+          std::vector<Lit> negCore;
+          analyzeFinal(~p, negCore);
+          core_.clear();
+          core_.reserve(negCore.size());
+          for (Lit q : negCore) core_.push_back(~q);
+          return lbool::False;
+        } else {
+          next = p;
+          break;
+        }
+      }
+
+      if (next == kUndefLit) {
+        ++stats_.decisions;
+        next = pickBranchLit();
+        if (next == kUndefLit) {
+          // All variables assigned: model found.
+          return lbool::True;
+        }
+      }
+
+      newDecisionLevel();
+      uncheckedEnqueue(next);
+    }
+  }
+}
+
+lbool Solver::solve(std::span<const Lit> assumptions) {
+  ++stats_.solves;
+  model_.clear();
+  core_.clear();
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  if (!ok_) return lbool::False;
+  if (budget_.timeExpired() || !withinBudget()) return lbool::Undef;
+
+  if (!simplify()) {
+    assumptions_.clear();
+    return lbool::False;
+  }
+
+  max_learnts_ = std::max(
+      static_cast<double>(numClauses()) * opts_.learntsize_factor, 100.0);
+
+  lbool status = lbool::Undef;
+  for (int restarts = 0; status == lbool::Undef; ++restarts) {
+    if (budget_.timeExpired() || !withinBudget()) break;
+    const double restartBase =
+        opts_.luby_restarts
+            ? lubySequence(2.0, restarts)
+            : std::pow(opts_.restart_inc, restarts);
+    status = search(
+        static_cast<std::int64_t>(restartBase * opts_.restart_base));
+    ++stats_.restarts;
+    max_learnts_ *= opts_.learntsize_inc;
+  }
+
+  if (status == lbool::True) {
+    model_.resize(static_cast<std::size_t>(numVars()));
+    for (Var v = 0; v < numVars(); ++v) model_[v] = assigns_[v];
+  } else if (status == lbool::False && core_.empty()) {
+    // Unsatisfiable independently of the assumptions.
+    ok_ = false;
+  }
+
+  cancelUntil(0);
+  assumptions_.clear();
+  return status;
+}
+
+int Solver::numFixedVars() const {
+  return trail_lim_.empty() ? trailSize() : trail_lim_[0];
+}
+
+}  // namespace msu

@@ -1,0 +1,261 @@
+/// \file solver.h
+/// \brief Incremental CDCL SAT solver with assumption-based unsatisfiable
+///        core extraction — the substrate every MaxSAT engine in this
+///        library is built on.
+///
+/// The design follows MiniSat (Eén & Sörensson), the solver the DATE'08
+/// paper builds msu4 on: two-watched-literal propagation with blocker
+/// literals, first-UIP conflict analysis with recursive clause
+/// minimization, VSIDS variable activities with an indexed heap, phase
+/// saving, Luby restarts, activity-driven learnt-clause deletion, and
+/// arena storage with copying GC.
+///
+/// Core extraction: solving under assumptions `a1..ak` that turn out to
+/// be inconsistent yields, via final-conflict analysis, a subset of the
+/// assumptions whose conjunction with the clause database is
+/// unsatisfiable (`core()`). MaxSAT engines attach one selector literal
+/// per tracked soft clause and read cores off that set, which is the
+/// modern equivalent of the MiniSat 1.14 resolution-based core extractor
+/// used in the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "sat/arena.h"
+#include "sat/budget.h"
+#include "sat/heap.h"
+#include "sat/proof_tracer.h"
+#include "sat/stats.h"
+
+namespace msu {
+
+/// Incremental CDCL solver.
+class Solver {
+ public:
+  /// Tunable parameters; defaults match MiniSat's.
+  struct Options {
+    double var_decay = 0.95;       ///< VSIDS activity decay
+    double clause_decay = 0.999;   ///< learnt clause activity decay
+    int restart_base = 100;        ///< conflicts per Luby unit
+    bool luby_restarts = true;     ///< Luby vs. geometric restarts
+    double restart_inc = 2.0;      ///< geometric restart factor
+    bool phase_saving = true;      ///< reuse last assigned polarity
+    int ccmin_mode = 2;            ///< 0=off, 1=basic, 2=recursive
+    double learntsize_factor = 1.0 / 3.0;  ///< initial learnt DB size
+    double learntsize_inc = 1.1;   ///< learnt DB growth per restart
+    double garbage_frac = 0.20;    ///< GC when wasted/size exceeds this
+    bool lbd_reduce = false;       ///< Glucose-style LBD clause deletion
+
+    /// Optional proof receiver (non-owning; must outlive the solver).
+    /// Attach before adding clauses so the axiom trace is complete.
+    ProofTracer* tracer = nullptr;
+  };
+
+  Solver() : Solver(Options{}) {}
+  explicit Solver(const Options& opts);
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- Problem construction -------------------------------------------
+
+  /// Creates a fresh variable and returns it.
+  Var newVar(bool decisionVar = true);
+
+  /// Number of variables created.
+  [[nodiscard]] int numVars() const {
+    return static_cast<int>(assigns_.size());
+  }
+
+  /// Number of original (problem) clauses currently attached.
+  [[nodiscard]] int numClauses() const {
+    return static_cast<int>(clauses_.size());
+  }
+
+  /// Number of learnt clauses currently attached.
+  [[nodiscard]] int numLearnts() const {
+    return static_cast<int>(learnts_.size());
+  }
+
+  /// Adds a clause. Returns false iff the clause database is now known
+  /// unsatisfiable at level 0 (the solver becomes permanently "not okay").
+  /// All referenced variables must have been created with newVar().
+  bool addClause(std::span<const Lit> lits);
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// False iff unsatisfiability was already established at level 0.
+  [[nodiscard]] bool okay() const { return ok_; }
+
+  // ---- Solving ---------------------------------------------------------
+
+  /// Solves without assumptions. True/False for SAT/UNSAT; Undef when the
+  /// budget was exhausted.
+  [[nodiscard]] lbool solve() { return solve({}); }
+
+  /// Solves under assumptions.
+  ///  * True: `model()` holds a complete satisfying assignment.
+  ///  * False: if caused by the assumptions, `core()` holds a subset of
+  ///    them that is jointly inconsistent with the clause database
+  ///    (possibly empty when the database itself is unsatisfiable).
+  ///  * Undef: budget exhausted.
+  [[nodiscard]] lbool solve(std::span<const Lit> assumptions);
+
+  /// Model from the last satisfiable solve (indexed by variable).
+  [[nodiscard]] const std::vector<lbool>& model() const { return model_; }
+
+  /// Value of `p` in the stored model.
+  [[nodiscard]] lbool modelValue(Lit p) const {
+    return applySign(model_[p.var()], p);
+  }
+
+  /// Failing assumption subset from the last unsatisfiable solve-under-
+  /// assumptions (in the polarity the caller passed them).
+  [[nodiscard]] const std::vector<Lit>& core() const { return core_; }
+
+  // ---- Budgets & statistics ---------------------------------------------
+
+  /// Installs a cooperative budget (shared across subsequent solves).
+  void setBudget(const Budget& b) { budget_ = b; }
+
+  /// The currently installed budget.
+  [[nodiscard]] const Budget& budget() const { return budget_; }
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+  /// Installs (or clears, with nullptr) the proof tracer. Attach before
+  /// the first addClause so the proof's axiom record is complete.
+  void setProofTracer(ProofTracer* tracer) { opts_.tracer = tracer; }
+
+  /// The installed proof tracer, if any.
+  [[nodiscard]] ProofTracer* proofTracer() const { return opts_.tracer; }
+
+  // ---- Introspection (used by tests) ------------------------------------
+
+  /// Current value of a variable at the solver's present state.
+  [[nodiscard]] lbool value(Var v) const { return assigns_[v]; }
+
+  /// Current value of a literal.
+  [[nodiscard]] lbool value(Lit p) const {
+    return applySign(assigns_[p.var()], p);
+  }
+
+  /// Number of level-0 assigned literals (after simplification).
+  [[nodiscard]] int numFixedVars() const;
+
+ private:
+  struct Watcher {
+    CRef cref = kCRefUndef;
+    Lit blocker = kUndefLit;
+  };
+
+  struct VarData {
+    CRef reason = kCRefUndef;
+    int level = 0;
+  };
+
+  // Construction helpers.
+  void attachClause(CRef ref);
+  void detachClause(CRef ref);
+  void removeClause(CRef ref);
+
+  // Search machinery.
+  [[nodiscard]] int decisionLevel() const {
+    return static_cast<int>(trail_lim_.size());
+  }
+  void newDecisionLevel() { trail_lim_.push_back(trailSize()); }
+  [[nodiscard]] int trailSize() const { return static_cast<int>(trail_.size()); }
+  void uncheckedEnqueue(Lit p, CRef from = kCRefUndef);
+  [[nodiscard]] CRef propagate();
+  void cancelUntil(int level);
+  [[nodiscard]] Lit pickBranchLit();
+  void analyze(CRef confl, std::vector<Lit>& outLearnt, int& outBtLevel);
+  [[nodiscard]] bool litRedundant(Lit p, std::uint32_t abstractLevels);
+  void analyzeFinal(Lit p, std::vector<Lit>& outConflict);
+  [[nodiscard]] lbool search(std::int64_t conflictsBeforeRestart);
+  void reduceDB();
+  [[nodiscard]] std::uint32_t computeLbd(std::span<const Lit> lits);
+  void removeSatisfied(std::vector<CRef>& refs);
+  bool simplify();
+  void rebuildOrderHeap();
+  void garbageCollectIfNeeded();
+  void relocAll(ClauseArena& to);
+
+  [[nodiscard]] bool locked(CRef ref) const;
+  [[nodiscard]] int level(Var v) const { return vardata_[v].level; }
+  [[nodiscard]] CRef reason(Var v) const { return vardata_[v].reason; }
+
+  void varBumpActivity(Var v);
+  void varDecayActivity() { var_inc_ /= opts_.var_decay; }
+  void claBumpActivity(ClauseRefView c);
+  void claDecayActivity() { cla_inc_ /= opts_.clause_decay; }
+
+  [[nodiscard]] bool withinBudget() const;
+
+  // Proof trace helpers (no-ops without a tracer).
+  void traceAxiom(std::span<const Lit> lits) {
+    if (opts_.tracer != nullptr) opts_.tracer->axiom(lits);
+  }
+  void traceLemma(std::span<const Lit> lits) {
+    if (opts_.tracer != nullptr) opts_.tracer->lemma(lits);
+  }
+  void traceDeleted(std::span<const Lit> lits) {
+    if (opts_.tracer != nullptr) opts_.tracer->deleted(lits);
+  }
+
+  Options opts_;
+
+  // Clause storage and lists.
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
+
+  // Per-literal watcher lists (indexed by Lit::index()).
+  std::vector<std::vector<Watcher>> watches_;
+
+  // Per-variable state.
+  std::vector<lbool> assigns_;
+  std::vector<VarData> vardata_;
+  std::vector<char> polarity_;  // saved phase: 1 = last value was false
+  std::vector<char> decision_;  // eligible as decision variable
+  std::vector<double> activity_;
+  std::vector<char> seen_;
+
+  // Trail.
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  // Heuristics.
+  VarOrderHeap order_heap_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+
+  // Assumption interface.
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> core_;
+  std::vector<lbool> model_;
+
+  // Analyze scratch.
+  std::vector<Lit> analyze_toclear_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<int> lbd_scratch_;
+
+  // State.
+  bool ok_ = true;
+  double max_learnts_ = 0.0;
+  int simp_db_assigns_ = -1;  // trail size at last simplify()
+
+  Budget budget_;
+  SolverStats stats_;
+};
+
+/// The Luby sequence scaled by `y`: y * luby(i); used for restart pacing.
+[[nodiscard]] double lubySequence(double y, int i);
+
+}  // namespace msu

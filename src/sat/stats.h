@@ -1,0 +1,25 @@
+/// \file stats.h
+/// \brief Counters reported by the CDCL engine; used by benchmarks and by
+///        budget accounting.
+
+#pragma once
+
+#include <cstdint>
+
+namespace msu {
+
+/// Cumulative CDCL statistics (monotone over the solver's lifetime).
+struct SolverStats {
+  std::int64_t solves = 0;        ///< calls to solve()
+  std::int64_t decisions = 0;     ///< branching decisions
+  std::int64_t propagations = 0;  ///< literals propagated
+  std::int64_t conflicts = 0;     ///< conflicts analysed
+  std::int64_t restarts = 0;      ///< restarts performed
+  std::int64_t learnt_clauses = 0;    ///< clauses learnt (total)
+  std::int64_t learnt_literals = 0;   ///< literals in learnt clauses
+  std::int64_t minimized_literals = 0;  ///< literals removed by minimization
+  std::int64_t removed_clauses = 0;   ///< learnt clauses deleted by reduceDB
+  std::int64_t gc_runs = 0;           ///< arena garbage collections
+};
+
+}  // namespace msu

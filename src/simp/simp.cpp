@@ -1,0 +1,365 @@
+#include "simp/simp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msu {
+
+namespace {
+
+/// Sorts, deduplicates, and detects tautologies. Returns false when the
+/// clause is a tautology (caller drops it).
+[[nodiscard]] bool normalizeClause(Clause& c) {
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c[i] == ~c[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Preprocessor::Preprocessor(SimpOptions options) : opts_(options) {}
+
+std::uint64_t Preprocessor::signatureOf(const Clause& c) {
+  std::uint64_t sig = 0;
+  for (const Lit p : c) {
+    sig |= std::uint64_t{1} << (static_cast<std::uint32_t>(p.var()) % 64u);
+  }
+  return sig;
+}
+
+void Preprocessor::attachOccurrences(int id) {
+  for (const Lit p : clauses_[static_cast<std::size_t>(id)].lits) {
+    occs_[static_cast<std::size_t>(p.index())].push_back(id);
+  }
+}
+
+void Preprocessor::killClause(int id) {
+  Entry& e = clauses_[static_cast<std::size_t>(id)];
+  if (!e.alive) return;
+  e.alive = false;
+  for (const Lit p : e.lits) {
+    auto& list = occs_[static_cast<std::size_t>(p.index())];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+}
+
+bool Preprocessor::enqueueUnit(Lit p) {
+  lbool& cell = fixed_[static_cast<std::size_t>(p.var())];
+  const lbool want = p.positive() ? lbool::True : lbool::False;
+  if (cell == want) return true;
+  if (cell != lbool::Undef) {
+    unsat_ = true;
+    return false;
+  }
+  cell = want;
+  unitQueue_.push_back(p);
+  ++stats_.unitsPropagated;
+  return true;
+}
+
+bool Preprocessor::propagateUnits() {
+  while (!unitQueue_.empty()) {
+    const Lit p = unitQueue_.back();
+    unitQueue_.pop_back();
+    // Clauses satisfied by p disappear.
+    const std::vector<int> sat = occs_[static_cast<std::size_t>(p.index())];
+    for (const int id : sat) killClause(id);
+    // Clauses containing ~p shrink.
+    const std::vector<int> shrink =
+        occs_[static_cast<std::size_t>((~p).index())];
+    for (const int id : shrink) {
+      Entry& e = clauses_[static_cast<std::size_t>(id)];
+      if (!e.alive) continue;
+      auto& list = occs_[static_cast<std::size_t>((~p).index())];
+      list.erase(std::remove(list.begin(), list.end(), id), list.end());
+      e.lits.erase(std::remove(e.lits.begin(), e.lits.end(), ~p),
+                   e.lits.end());
+      e.signature = signatureOf(e.lits);
+      if (e.lits.empty()) {
+        unsat_ = true;
+        return false;
+      }
+      if (e.lits.size() == 1) {
+        const Lit unit = e.lits[0];
+        killClause(id);
+        if (!enqueueUnit(unit)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Preprocessor::subsumeWith(int id) {
+  const Entry& c = clauses_[static_cast<std::size_t>(id)];
+  if (!c.alive || c.lits.empty()) return;
+  // Scan the occurrence list of c's least-frequent literal.
+  Lit best = c.lits[0];
+  for (const Lit p : c.lits) {
+    if (occs_[static_cast<std::size_t>(p.index())].size() <
+        occs_[static_cast<std::size_t>(best.index())].size()) {
+      best = p;
+    }
+  }
+  const std::vector<int> candidates =
+      occs_[static_cast<std::size_t>(best.index())];
+  for (const int other : candidates) {
+    if (other == id) continue;
+    Entry& d = clauses_[static_cast<std::size_t>(other)];
+    if (!d.alive || d.lits.size() < c.lits.size()) continue;
+    if ((c.signature & ~d.signature) != 0) continue;
+    if (std::includes(d.lits.begin(), d.lits.end(), c.lits.begin(),
+                      c.lits.end())) {
+      killClause(other);
+      ++stats_.subsumed;
+    }
+  }
+}
+
+bool Preprocessor::strengthenAll() {
+  bool changed = false;
+  for (int id = 0; id < static_cast<int>(clauses_.size()); ++id) {
+    if (!clauses_[static_cast<std::size_t>(id)].alive) continue;
+    // Self-subsuming resolution: if C = X ∨ l and D = X' ∨ ~l with
+    // X ⊆ X', then resolving on l strengthens D to X'.
+    const Clause cLits = clauses_[static_cast<std::size_t>(id)].lits;
+    for (const Lit l : cLits) {
+      // C without l, still sorted.
+      Clause rest;
+      rest.reserve(cLits.size() - 1);
+      for (const Lit p : cLits) {
+        if (p != l) rest.push_back(p);
+      }
+      const std::uint64_t restSig = signatureOf(rest);
+      const std::vector<int> candidates =
+          occs_[static_cast<std::size_t>((~l).index())];
+      for (const int other : candidates) {
+        if (other == id) continue;
+        Entry& d = clauses_[static_cast<std::size_t>(other)];
+        if (!d.alive || d.lits.size() < cLits.size()) continue;
+        if ((restSig & ~d.signature) != 0) continue;
+        if (!std::includes(d.lits.begin(), d.lits.end(), rest.begin(),
+                           rest.end())) {
+          continue;
+        }
+        // Strengthen D: drop ~l.
+        auto& list = occs_[static_cast<std::size_t>((~l).index())];
+        list.erase(std::remove(list.begin(), list.end(), other), list.end());
+        d.lits.erase(std::remove(d.lits.begin(), d.lits.end(), ~l),
+                     d.lits.end());
+        d.signature = signatureOf(d.lits);
+        ++stats_.strengthened;
+        changed = true;
+        if (d.lits.size() == 1) {
+          const Lit unit = d.lits[0];
+          killClause(other);
+          if (!enqueueUnit(unit) || !propagateUnits()) return changed;
+        }
+      }
+      if (!clauses_[static_cast<std::size_t>(id)].alive) break;
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::addDerived(Clause c) {
+  if (c.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (c.size() == 1) {
+    return enqueueUnit(c[0]);  // propagation happens at the call site
+  }
+  const int id = static_cast<int>(clauses_.size());
+  Entry e;
+  e.signature = signatureOf(c);
+  e.lits = std::move(c);
+  clauses_.push_back(std::move(e));
+  attachOccurrences(id);
+  return true;
+}
+
+bool Preprocessor::tryEliminate(Var v) {
+  if (frozen_[static_cast<std::size_t>(v)] != 0 ||
+      eliminated_[static_cast<std::size_t>(v)] != 0 ||
+      fixed_[static_cast<std::size_t>(v)] != lbool::Undef) {
+    return false;
+  }
+  const auto& pos = occs_[static_cast<std::size_t>(posLit(v).index())];
+  const auto& neg = occs_[static_cast<std::size_t>(negLit(v).index())];
+  const int total = static_cast<int>(pos.size() + neg.size());
+  if (total == 0 || total > opts_.bveMaxOccurrences) return false;
+
+  // Build the non-tautological resolvents.
+  std::vector<Clause> resolvents;
+  for (const int pi : pos) {
+    for (const int ni : neg) {
+      Clause r;
+      for (const Lit p : clauses_[static_cast<std::size_t>(pi)].lits) {
+        if (p.var() != v) r.push_back(p);
+      }
+      for (const Lit p : clauses_[static_cast<std::size_t>(ni)].lits) {
+        if (p.var() != v) r.push_back(p);
+      }
+      if (!normalizeClause(r)) continue;
+      resolvents.push_back(std::move(r));
+      if (static_cast<int>(resolvents.size()) >
+          total + opts_.bveGrowthLimit) {
+        return false;  // elimination would grow the formula
+      }
+    }
+  }
+
+  // Commit: save the occurrences for reconstruction, remove them, add
+  // the resolvents.
+  Elimination elim;
+  elim.var = v;
+  std::vector<int> ids(pos.begin(), pos.end());
+  ids.insert(ids.end(), neg.begin(), neg.end());
+  for (const int id : ids) {
+    elim.clauses.push_back(clauses_[static_cast<std::size_t>(id)].lits);
+  }
+  trail_.push_back(std::move(elim));
+  for (const int id : ids) killClause(id);
+  eliminated_[static_cast<std::size_t>(v)] = 1;
+  ++stats_.varsEliminated;
+  for (Clause& r : resolvents) {
+    ++stats_.resolventsAdded;
+    if (!addDerived(std::move(r))) return true;  // unsat found
+  }
+  static_cast<void>(propagateUnits());
+  return true;
+}
+
+CnfFormula Preprocessor::run(const CnfFormula& cnf, std::vector<Var> frozen) {
+  num_vars_ = cnf.numVars();
+  clauses_.clear();
+  occs_.assign(static_cast<std::size_t>(2 * num_vars_), {});
+  fixed_.assign(static_cast<std::size_t>(num_vars_), lbool::Undef);
+  frozen_.assign(static_cast<std::size_t>(num_vars_), 0);
+  eliminated_.assign(static_cast<std::size_t>(num_vars_), 0);
+  unitQueue_.clear();
+  trail_.clear();
+  unsat_ = false;
+  for (const Var v : frozen) frozen_[static_cast<std::size_t>(v)] = 1;
+
+  for (const Clause& original : cnf.clauses()) {
+    Clause c = original;
+    if (!normalizeClause(c)) continue;  // tautology
+    if (unsat_) break;
+    static_cast<void>(addDerived(std::move(c)));
+  }
+  if (!unsat_) static_cast<void>(propagateUnits());
+
+  if (!unsat_) {
+    for (int round = 0; round < opts_.maxRounds && !unsat_; ++round) {
+      bool changed = false;
+      if (opts_.subsumption) {
+        const std::int64_t before = stats_.subsumed;
+        for (int id = 0; id < static_cast<int>(clauses_.size()); ++id) {
+          subsumeWith(id);
+        }
+        changed = changed || stats_.subsumed != before;
+      }
+      if (opts_.strengthen && !unsat_) {
+        changed = strengthenAll() || changed;
+      }
+      if (opts_.eliminate && !unsat_) {
+        for (Var v = 0; v < num_vars_ && !unsat_; ++v) {
+          changed = tryEliminate(v) || changed;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  CnfFormula out(num_vars_);
+  if (unsat_) {
+    out.addClause(std::initializer_list<Lit>{});
+    return out;
+  }
+  for (Var v = 0; v < num_vars_; ++v) {
+    const lbool val = fixed_[static_cast<std::size_t>(v)];
+    if (val == lbool::True) {
+      out.addClause({posLit(v)});
+    } else if (val == lbool::False) {
+      out.addClause({negLit(v)});
+    }
+  }
+  for (const Entry& e : clauses_) {
+    if (e.alive) out.addClause(e.lits);
+  }
+  return out;
+}
+
+Assignment Preprocessor::reconstruct(const Assignment& model) const {
+  Assignment out(static_cast<std::size_t>(num_vars_), lbool::Undef);
+  for (std::size_t v = 0; v < out.size() && v < model.size(); ++v) {
+    out[v] = model[v];
+  }
+  // Top-level units override (they are also in the simplified formula,
+  // but make reconstruction robust to partial models).
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (fixed_[static_cast<std::size_t>(v)] != lbool::Undef) {
+      out[static_cast<std::size_t>(v)] = fixed_[static_cast<std::size_t>(v)];
+    }
+  }
+  // Unconstrained survivors default to false so the elimination stack
+  // reads complete values.
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    if (out[v] == lbool::Undef && eliminated_[v] == 0) out[v] = lbool::False;
+  }
+  // Undo eliminations in reverse: pick the polarity of the eliminated
+  // variable that satisfies every clause it occurred in.
+  for (auto it = trail_.rbegin(); it != trail_.rend(); ++it) {
+    const Var v = it->var;
+    bool needTrue = false;
+    for (const Clause& c : it->clauses) {
+      bool satisfiedWithoutV = false;
+      bool containsPos = false;
+      for (const Lit p : c) {
+        if (p.var() == v) {
+          containsPos = containsPos || p.positive();
+          continue;
+        }
+        const lbool val = out[static_cast<std::size_t>(p.var())];
+        if (applySign(val, p) == lbool::True) {
+          satisfiedWithoutV = true;
+          break;
+        }
+      }
+      if (!satisfiedWithoutV && containsPos) {
+        needTrue = true;
+        break;
+      }
+    }
+    out[static_cast<std::size_t>(v)] = needTrue ? lbool::True : lbool::False;
+  }
+  return out;
+}
+
+std::pair<WcnfFormula, Preprocessor> preprocessHard(
+    const WcnfFormula& wcnf, const SimpOptions& options) {
+  CnfFormula hard(wcnf.numVars());
+  for (const Clause& c : wcnf.hard()) hard.addClause(c);
+  std::vector<Var> frozen;
+  std::vector<char> seen(static_cast<std::size_t>(wcnf.numVars()), 0);
+  for (const SoftClause& sc : wcnf.soft()) {
+    for (const Lit p : sc.lits) {
+      if (seen[static_cast<std::size_t>(p.var())] == 0) {
+        seen[static_cast<std::size_t>(p.var())] = 1;
+        frozen.push_back(p.var());
+      }
+    }
+  }
+  Preprocessor pre(options);
+  const CnfFormula simplified = pre.run(hard, std::move(frozen));
+  WcnfFormula out(wcnf.numVars());
+  for (const Clause& c : simplified.clauses()) out.addHard(c);
+  for (const SoftClause& sc : wcnf.soft()) out.addSoft(sc.lits, sc.weight);
+  return {std::move(out), std::move(pre)};
+}
+
+}  // namespace msu

@@ -1,0 +1,134 @@
+/// \file simp.h
+/// \brief SatELite-style CNF preprocessing (Eén & Biere): top-level unit
+///        propagation, subsumption, self-subsuming resolution (clause
+///        strengthening) and bounded variable elimination, with model
+///        reconstruction for eliminated variables.
+///
+/// MiniSat 1.14 — the solver the paper builds msu4 on — shipped exactly
+/// this preprocessor as "MiniSat+SatELite"; here it is a standalone
+/// library component usable in three roles: ahead of plain SAT solving,
+/// on the *hard* clauses of a MaxSAT instance (soft-clause variables
+/// frozen, see `preprocessHard`), and inside the instance generators to
+/// emit realistically irredundant benchmarks.
+///
+/// Soundness: the simplified formula is equisatisfiable, and any model
+/// of it extends to a model of the original via `reconstruct` (variable
+/// elimination is model-preserving given the saved occurrence lists;
+/// subsumption and strengthening never lose models).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "cnf/wcnf.h"
+
+namespace msu {
+
+/// Options for the preprocessor.
+struct SimpOptions {
+  bool subsumption = true;      ///< remove subsumed clauses
+  bool strengthen = true;       ///< self-subsuming resolution
+  bool eliminate = true;        ///< bounded variable elimination
+
+  /// A variable is eliminated only if its occurrence count is at most
+  /// this (frequent variables produce quadratic resolvent blow-up).
+  int bveMaxOccurrences = 24;
+
+  /// ... and only if the surviving resolvents do not outnumber the
+  /// removed clauses by more than this many extra clauses.
+  int bveGrowthLimit = 0;
+
+  /// Fixpoint rounds over the whole pipeline.
+  int maxRounds = 12;
+};
+
+/// Statistics of one preprocessing run.
+struct SimpStats {
+  std::int64_t unitsPropagated = 0;
+  std::int64_t subsumed = 0;
+  std::int64_t strengthened = 0;
+  std::int64_t varsEliminated = 0;
+  std::int64_t resolventsAdded = 0;
+};
+
+/// CNF preprocessor with model reconstruction.
+///
+/// Usage:
+///   Preprocessor pre(options);
+///   CnfFormula simplified = pre.run(original, frozen);
+///   ... solve simplified ...
+///   Assignment original_model = pre.reconstruct(simplified_model);
+class Preprocessor {
+ public:
+  explicit Preprocessor(SimpOptions options = {});
+
+  /// Simplifies `cnf`. Variables in `frozen` (and all variables when the
+  /// formula is detected unsatisfiable) are never eliminated; they keep
+  /// their meaning in the result. The result uses the same variable ids
+  /// (eliminated variables simply no longer occur).
+  [[nodiscard]] CnfFormula run(const CnfFormula& cnf,
+                               std::vector<Var> frozen = {});
+
+  /// True iff unsatisfiability was established during preprocessing
+  /// (the returned formula then contains an empty clause).
+  [[nodiscard]] bool provedUnsat() const { return unsat_; }
+
+  /// Extends a model of the simplified formula to all original
+  /// variables (eliminated variables are assigned so every removed
+  /// clause is satisfied; unconstrained variables default to false).
+  [[nodiscard]] Assignment reconstruct(const Assignment& model) const;
+
+  [[nodiscard]] const SimpStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Clause lits;
+    std::uint64_t signature = 0;
+    bool alive = true;
+  };
+
+  [[nodiscard]] static std::uint64_t signatureOf(const Clause& c);
+  void attachOccurrences(int id);
+  void killClause(int id);
+  [[nodiscard]] bool enqueueUnit(Lit p);
+  [[nodiscard]] bool propagateUnits();
+  void subsumeWith(int id);
+  [[nodiscard]] bool strengthenAll();
+  [[nodiscard]] bool tryEliminate(Var v);
+  [[nodiscard]] bool addDerived(Clause c);
+
+  SimpOptions opts_;
+  SimpStats stats_;
+
+  std::vector<Entry> clauses_;
+  std::vector<std::vector<int>> occs_;  // literal index -> clause ids
+  std::vector<lbool> fixed_;            // top-level assignment
+  std::vector<Lit> unitQueue_;
+  std::vector<char> frozen_;
+  std::vector<char> eliminated_;
+  bool unsat_ = false;
+  int num_vars_ = 0;
+
+  /// Reconstruction stack: for each eliminated variable, the clauses it
+  /// occurred in, processed in reverse on reconstruct().
+  struct Elimination {
+    Var var = kUndefVar;
+    std::vector<Clause> clauses;
+  };
+  std::vector<Elimination> trail_;
+};
+
+/// Convenience: preprocesses the *hard* clauses of a MaxSAT instance with
+/// every variable occurring in a soft clause frozen, returning a new
+/// instance with the same soft clauses. The mapping back to original
+/// variables is the identity (hard-only variables may disappear), so
+/// engine models remain directly comparable — but note eliminated
+/// variables are unassigned in engine models; use the returned
+/// preprocessor's reconstruct() for complete assignments.
+[[nodiscard]] std::pair<WcnfFormula, Preprocessor> preprocessHard(
+    const WcnfFormula& wcnf, const SimpOptions& options = {});
+
+}  // namespace msu

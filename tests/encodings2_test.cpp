@@ -1,0 +1,276 @@
+/// Exhaustive property tests for the second wave of encodings:
+///  * cardinality networks accept exactly popcount <= k (all masks, all
+///    k), including inside encodeAtMost and inside msu4;
+///  * truncated outputs propagate forward like the full sorter's;
+///  * the four extra AMO encodings (commander, product, binary,
+///    bimander) accept exactly popcount <= 1, with and without
+///    activators, across group sizes;
+///  * emitted-size sanity: cardinality networks never exceed the full
+///    sorter, AMO encodings stay within their advertised clause budgets.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cnf/oracle.h"
+#include "encodings/amo.h"
+#include "encodings/cardinality.h"
+#include "encodings/cardnet.h"
+#include "encodings/sink.h"
+#include "gen/random_cnf.h"
+#include "harness/factory.h"
+#include "sat/solver.h"
+
+namespace msu {
+namespace {
+
+struct Fixture {
+  Solver solver;
+  SolverSink sink{solver};
+  std::vector<Lit> inputs;
+
+  explicit Fixture(int n) {
+    for (int i = 0; i < n; ++i) inputs.push_back(posLit(solver.newVar()));
+  }
+
+  [[nodiscard]] lbool solveMask(std::uint32_t mask,
+                                std::optional<Lit> extra = std::nullopt) {
+    std::vector<Lit> assumps;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const bool bit = ((mask >> i) & 1u) != 0;
+      assumps.push_back(bit ? inputs[i] : ~inputs[i]);
+    }
+    if (extra) assumps.push_back(*extra);
+    return solver.solve(assumps);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Cardinality networks
+// ---------------------------------------------------------------------
+
+struct NkCase {
+  int n;
+  int k;
+};
+
+class CardNetExhaustive : public ::testing::TestWithParam<NkCase> {};
+
+TEST_P(CardNetExhaustive, EncodeAtMostAcceptsExactlyPopcountLeK) {
+  const auto [n, k] = GetParam();
+  Fixture f(n);
+  encodeAtMost(f.sink, f.inputs, k, CardEncoding::CardNet);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const bool expect = std::popcount(mask) <= static_cast<unsigned>(k);
+    const lbool st = f.solveMask(mask);
+    ASSERT_NE(st, lbool::Undef);
+    EXPECT_EQ(st == lbool::True, expect) << "n=" << n << " k=" << k
+                                         << " mask=" << mask;
+  }
+}
+
+TEST_P(CardNetExhaustive, OutputsPropagateForward) {
+  // out[i] must be forced true whenever more than i inputs are true.
+  const auto [n, k] = GetParam();
+  Fixture f(n);
+  const std::vector<Lit> out = buildCardinalityNetwork(f.sink, f.inputs, k);
+  ASSERT_EQ(static_cast<int>(out.size()), std::min(n, k + 1));
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const int count = std::popcount(mask);
+    ASSERT_EQ(f.solveMask(mask), lbool::True);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (count >= static_cast<int>(i) + 1) {
+        EXPECT_EQ(f.solver.modelValue(out[i]), lbool::True)
+            << "n=" << n << " k=" << k << " mask=" << mask << " i=" << i;
+      }
+    }
+  }
+}
+
+std::vector<NkCase> cardNetCases() {
+  std::vector<NkCase> cases;
+  for (int n : {1, 2, 3, 4, 5, 7, 8, 9}) {
+    for (int k = 0; k < n; ++k) cases.push_back({n, k});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CardNetExhaustive,
+                         ::testing::ValuesIn(cardNetCases()),
+                         [](const ::testing::TestParamInfo<NkCase>& info) {
+                           return "n" + std::to_string(info.param.n) + "_k" +
+                                  std::to_string(info.param.k);
+                         });
+
+TEST(CardNetTest, ActivatorGuardsTheBound) {
+  Fixture f(5);
+  const Lit act = posLit(f.solver.newVar());
+  encodeAtMost(f.sink, f.inputs, 1, CardEncoding::CardNet, act);
+  // Guard off: any mask accepted.
+  EXPECT_EQ(f.solveMask(0b11111, ~act), lbool::True);
+  // Guard on: bound enforced.
+  EXPECT_EQ(f.solveMask(0b11000, act), lbool::False);
+  EXPECT_EQ(f.solveMask(0b10000, act), lbool::True);
+}
+
+TEST(CardNetTest, NeverLargerThanFullSorter) {
+  for (int n : {8, 16, 24, 40}) {
+    for (int k : {1, 2, 4}) {
+      const EncodingSize net = measureAtMost(n, k, CardEncoding::CardNet);
+      const EncodingSize sorter = measureAtMost(n, k, CardEncoding::Sorter);
+      EXPECT_LE(net.clauses, sorter.clauses) << "n=" << n << " k=" << k;
+      EXPECT_LE(net.auxVars, sorter.auxVars) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CardNetTest, Msu4WithCardinalityNetworksMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CnfFormula f = randomUnsat3Sat(10, 6.0, seed);
+    const WcnfFormula w = WcnfFormula::allSoft(f);
+    auto solver = makeSolver("msu4-cnet");
+    ASSERT_NE(solver, nullptr);
+    const MaxSatResult r = solver->solve(w);
+    const OracleResult oracle = oracleMaxSat(w);
+    ASSERT_TRUE(oracle.optimumCost.has_value());
+    ASSERT_EQ(r.status, MaxSatStatus::Optimum) << "seed " << seed;
+    EXPECT_EQ(r.cost, *oracle.optimumCost) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// At-most-one encodings
+// ---------------------------------------------------------------------
+
+enum class AmoKind { Commander, Product, Binary, Bimander };
+
+const char* toName(AmoKind k) {
+  switch (k) {
+    case AmoKind::Commander:
+      return "commander";
+    case AmoKind::Product:
+      return "product";
+    case AmoKind::Binary:
+      return "binary";
+    case AmoKind::Bimander:
+      return "bimander";
+  }
+  return "?";
+}
+
+void encodeAmo(AmoKind kind, ClauseSink& sink, std::span<const Lit> lits,
+               std::optional<Lit> act = std::nullopt) {
+  switch (kind) {
+    case AmoKind::Commander:
+      encodeAtMostOneCommander(sink, lits, act);
+      break;
+    case AmoKind::Product:
+      encodeAtMostOneProduct(sink, lits, act);
+      break;
+    case AmoKind::Binary:
+      encodeAtMostOneBinary(sink, lits, act);
+      break;
+    case AmoKind::Bimander:
+      encodeAtMostOneBimander(sink, lits, act);
+      break;
+  }
+}
+
+struct AmoCase {
+  AmoKind kind;
+  int n;
+};
+
+class AmoExhaustive : public ::testing::TestWithParam<AmoCase> {};
+
+TEST_P(AmoExhaustive, AcceptsExactlyPopcountLeOne) {
+  const auto [kind, n] = GetParam();
+  Fixture f(n);
+  encodeAmo(kind, f.sink, f.inputs);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const bool expect = std::popcount(mask) <= 1;
+    const lbool st = f.solveMask(mask);
+    ASSERT_NE(st, lbool::Undef);
+    EXPECT_EQ(st == lbool::True, expect)
+        << toName(kind) << " n=" << n << " mask=" << mask;
+  }
+}
+
+TEST_P(AmoExhaustive, ActivatorMakesItRetractable) {
+  const auto [kind, n] = GetParam();
+  if (n < 2) return;
+  Fixture f(n);
+  const Lit act = posLit(f.solver.newVar());
+  encodeAmo(kind, f.sink, f.inputs, act);
+  const std::uint32_t allOnes = (1u << n) - 1;
+  EXPECT_EQ(f.solveMask(allOnes, ~act), lbool::True)
+      << toName(kind) << " n=" << n;
+  EXPECT_EQ(f.solveMask(allOnes, act), lbool::False)
+      << toName(kind) << " n=" << n;
+  EXPECT_EQ(f.solveMask(1, act), lbool::True) << toName(kind) << " n=" << n;
+}
+
+std::vector<AmoCase> amoCases() {
+  std::vector<AmoCase> cases;
+  for (AmoKind kind : {AmoKind::Commander, AmoKind::Product, AmoKind::Binary,
+                       AmoKind::Bimander}) {
+    for (int n : {1, 2, 3, 4, 5, 6, 8, 9, 12}) cases.push_back({kind, n});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AmoExhaustive, ::testing::ValuesIn(amoCases()),
+                         [](const ::testing::TestParamInfo<AmoCase>& info) {
+                           return std::string(toName(info.param.kind)) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(AmoSizeTest, CommanderGroupSizesAllWork) {
+  for (int groupSize : {2, 3, 4, 5}) {
+    Fixture f(10);
+    encodeAtMostOneCommander(f.sink, f.inputs, std::nullopt, groupSize);
+    EXPECT_EQ(f.solveMask(0b0000100000), lbool::True) << groupSize;
+    EXPECT_EQ(f.solveMask(0b0001100000), lbool::False) << groupSize;
+    EXPECT_EQ(f.solveMask(0b1000000001), lbool::False) << groupSize;
+  }
+}
+
+TEST(AmoSizeTest, BimanderGroupSizesAllWork) {
+  for (int groupSize : {1, 2, 3, 5}) {
+    Fixture f(10);
+    encodeAtMostOneBimander(f.sink, f.inputs, std::nullopt, groupSize);
+    EXPECT_EQ(f.solveMask(0b0000000010), lbool::True) << groupSize;
+    EXPECT_EQ(f.solveMask(0b0000000110), lbool::False) << groupSize;
+  }
+}
+
+TEST(AmoSizeTest, BinaryUsesLogClausesPerLiteral) {
+  // n * ceil(log2 n) binary clauses, no more.
+  CnfFormula cnf(16);
+  std::vector<Lit> lits;
+  for (Var v = 0; v < 16; ++v) lits.push_back(posLit(v));
+  FormulaSink sink(cnf);
+  encodeAtMostOneBinary(sink, lits);
+  EXPECT_EQ(cnf.numClauses(), 16 * 4);
+  EXPECT_EQ(cnf.numVars() - 16, 4);
+}
+
+TEST(AmoSizeTest, PairwiseIsQuadraticCommanderLinear) {
+  const int n = 60;
+  CnfFormula pw(n), cm(n);
+  std::vector<Lit> lits;
+  for (Var v = 0; v < n; ++v) lits.push_back(posLit(v));
+  {
+    FormulaSink sink(pw);
+    encodeAtMostOnePairwise(sink, lits);
+  }
+  {
+    FormulaSink sink(cm);
+    encodeAtMostOneCommander(sink, lits);
+  }
+  EXPECT_EQ(pw.numClauses(), n * (n - 1) / 2);
+  EXPECT_LT(cm.numClauses(), pw.numClauses() / 3);
+}
+
+}  // namespace
+}  // namespace msu

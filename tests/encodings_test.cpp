@@ -1,0 +1,288 @@
+/// Property tests for the cardinality encodings: for every encoding and
+/// every small (n, k), the encoding must accept exactly the assignments
+/// with popcount <= k (checked by forcing each input pattern with unit
+/// clauses and solving). Also covers at-least/exactly, AMO forms,
+/// activators, and the sorting network / BDD building blocks.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <tuple>
+
+#include "encodings/cardinality.h"
+#include "encodings/sink.h"
+#include "encodings/totalizer.h"
+#include "sat/solver.h"
+
+namespace msu {
+namespace {
+
+/// Builds a solver with `n` input variables.
+struct Fixture {
+  Solver solver;
+  SolverSink sink{solver};
+  std::vector<Lit> inputs;
+
+  explicit Fixture(int n) {
+    for (int i = 0; i < n; ++i) inputs.push_back(posLit(solver.newVar()));
+  }
+
+  /// Solves with the inputs forced to the bits of `mask`.
+  [[nodiscard]] lbool solveMask(std::uint32_t mask) {
+    std::vector<Lit> assumps;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const bool bit = ((mask >> i) & 1u) != 0;
+      assumps.push_back(bit ? inputs[i] : ~inputs[i]);
+    }
+    return solver.solve(assumps);
+  }
+};
+
+struct AtMostCase {
+  CardEncoding enc;
+  int n;
+  int k;
+};
+
+std::string caseName(const ::testing::TestParamInfo<AtMostCase>& info) {
+  return std::string(toString(info.param.enc)) + "_n" +
+         std::to_string(info.param.n) + "_k" + std::to_string(info.param.k);
+}
+
+class AtMostExhaustive : public ::testing::TestWithParam<AtMostCase> {};
+
+TEST_P(AtMostExhaustive, AcceptsExactlyPopcountLeK) {
+  const auto [enc, n, k] = GetParam();
+  Fixture f(n);
+  encodeAtMost(f.sink, f.inputs, k, enc);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const bool expect = std::popcount(mask) <= k;
+    const lbool st = f.solveMask(mask);
+    ASSERT_NE(st, lbool::Undef);
+    EXPECT_EQ(st == lbool::True, expect)
+        << toString(enc) << " n=" << n << " k=" << k << " mask=" << mask;
+  }
+}
+
+std::vector<AtMostCase> atMostCases() {
+  std::vector<AtMostCase> cases;
+  std::set<std::tuple<int, int, int>> seen;
+  for (CardEncoding enc :
+       {CardEncoding::Bdd, CardEncoding::Sorter, CardEncoding::Sequential,
+        CardEncoding::Totalizer, CardEncoding::Pairwise}) {
+    for (int n : {1, 2, 3, 5, 6, 8}) {
+      for (int k : {0, 1, 2, n - 1}) {
+        if (k < 0 || k >= n) continue;
+        if (!seen.insert({static_cast<int>(enc), n, k}).second) continue;
+        cases.push_back(AtMostCase{enc, n, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtMostExhaustive,
+                         ::testing::ValuesIn(atMostCases()), caseName);
+
+class AtLeastExhaustive : public ::testing::TestWithParam<AtMostCase> {};
+
+TEST_P(AtLeastExhaustive, AcceptsExactlyPopcountGeK) {
+  const auto [enc, n, k] = GetParam();
+  Fixture f(n);
+  encodeAtLeast(f.sink, f.inputs, k, enc);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const bool expect = std::popcount(mask) >= k;
+    const lbool st = f.solveMask(mask);
+    ASSERT_NE(st, lbool::Undef);
+    EXPECT_EQ(st == lbool::True, expect)
+        << toString(enc) << " n=" << n << " k=" << k << " mask=" << mask;
+  }
+}
+
+std::vector<AtMostCase> atLeastCases() {
+  std::vector<AtMostCase> cases;
+  std::set<std::tuple<int, int, int>> seen;
+  for (CardEncoding enc : {CardEncoding::Bdd, CardEncoding::Sorter,
+                           CardEncoding::Sequential, CardEncoding::Totalizer}) {
+    for (int n : {2, 4, 6}) {
+      for (int k : {1, 2, n}) {
+        if (k > n) continue;
+        if (!seen.insert({static_cast<int>(enc), n, k}).second) continue;
+        cases.push_back(AtMostCase{enc, n, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtLeastExhaustive,
+                         ::testing::ValuesIn(atLeastCases()), caseName);
+
+class ExactlyExhaustive : public ::testing::TestWithParam<AtMostCase> {};
+
+TEST_P(ExactlyExhaustive, AcceptsExactlyPopcountEqK) {
+  const auto [enc, n, k] = GetParam();
+  Fixture f(n);
+  encodeExactly(f.sink, f.inputs, k, enc);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const bool expect = std::popcount(mask) == static_cast<unsigned>(k);
+    const lbool st = f.solveMask(mask);
+    ASSERT_NE(st, lbool::Undef);
+    EXPECT_EQ(st == lbool::True, expect)
+        << toString(enc) << " n=" << n << " k=" << k << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactlyExhaustive,
+    ::testing::Values(AtMostCase{CardEncoding::Bdd, 4, 2},
+                      AtMostCase{CardEncoding::Sorter, 5, 2},
+                      AtMostCase{CardEncoding::Sequential, 5, 3},
+                      AtMostCase{CardEncoding::Totalizer, 6, 3}),
+    caseName);
+
+TEST(Encodings, TrivialBounds) {
+  Fixture f(3);
+  // k >= n is a no-op: all assignments accepted.
+  encodeAtMost(f.sink, f.inputs, 3, CardEncoding::Sorter);
+  encodeAtMost(f.sink, f.inputs, 7, CardEncoding::Bdd);
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    EXPECT_EQ(f.solveMask(mask), lbool::True);
+  }
+}
+
+TEST(Encodings, NegativeBoundIsFalsum) {
+  Fixture f(2);
+  encodeAtMost(f.sink, f.inputs, -1, CardEncoding::Sorter);
+  EXPECT_EQ(f.solver.solve(), lbool::False);
+}
+
+TEST(Encodings, ActivatorGuardsConstraint) {
+  for (CardEncoding enc :
+       {CardEncoding::Bdd, CardEncoding::Sorter, CardEncoding::Sequential,
+        CardEncoding::Totalizer}) {
+    Fixture f(4);
+    const Lit act = posLit(f.solver.newVar());
+    encodeAtMost(f.sink, f.inputs, 1, enc, act);
+    // Without the activator: any popcount is fine.
+    std::vector<Lit> all(f.inputs);
+    EXPECT_EQ(f.solver.solve(all), lbool::True) << toString(enc);
+    // With the activator: at most one input true.
+    std::vector<Lit> withAct(f.inputs);
+    withAct.push_back(act);
+    EXPECT_EQ(f.solver.solve(withAct), lbool::False) << toString(enc);
+    std::vector<Lit> ok{f.inputs[0], ~f.inputs[1], ~f.inputs[2], ~f.inputs[3],
+                       act};
+    EXPECT_EQ(f.solver.solve(ok), lbool::True) << toString(enc);
+  }
+}
+
+TEST(Encodings, AtMostOnePairwiseAndLadder) {
+  for (int variant = 0; variant < 2; ++variant) {
+    Fixture f(5);
+    if (variant == 0) {
+      encodeAtMostOnePairwise(f.sink, f.inputs);
+    } else {
+      encodeAtMostOneLadder(f.sink, f.inputs);
+    }
+    for (std::uint32_t mask = 0; mask < 32; ++mask) {
+      EXPECT_EQ(f.solveMask(mask) == lbool::True, std::popcount(mask) <= 1)
+          << "variant " << variant << " mask " << mask;
+    }
+  }
+}
+
+TEST(Encodings, ExactlyOne) {
+  for (int n : {2, 5, 12}) {  // 12 exercises the ladder path
+    Fixture f(n);
+    encodeExactlyOne(f.sink, f.inputs);
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      EXPECT_EQ(f.solveMask(mask) == lbool::True, std::popcount(mask) == 1)
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(SortingNetwork, OutputsAreSortedCounts) {
+  // out[i] must be true iff at least i+1 inputs are true, for every
+  // input pattern (full biconditional semantics).
+  for (int n : {1, 2, 3, 4, 5, 7, 8}) {
+    Fixture f(n);
+    const std::vector<Lit> out = buildSortingNetwork(f.sink, f.inputs);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      ASSERT_EQ(f.solveMask(mask), lbool::True);
+      const int pop = std::popcount(mask);
+      for (int i = 0; i < n; ++i) {
+        const lbool v = f.solver.modelValue(out[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(v == lbool::True, pop >= i + 1)
+            << "n=" << n << " mask=" << mask << " out[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(BddAtMost, RootIsBiconditional) {
+  for (int n : {3, 5}) {
+    for (int k : {1, 2}) {
+      Fixture f(n);
+      const Lit root = buildAtMostBdd(f.sink, f.inputs, k);
+      for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        ASSERT_EQ(f.solveMask(mask), lbool::True);
+        EXPECT_EQ(f.solver.modelValue(root) == lbool::True,
+                  std::popcount(mask) <= k)
+            << "n=" << n << " k=" << k << " mask=" << mask;
+      }
+    }
+  }
+}
+
+TEST(Totalizer, IncrementalExtensionMatchesMonolithic) {
+  // Adding inputs in two batches must behave like a single totalizer.
+  Fixture f(6);
+  const std::vector<Lit> first(f.inputs.begin(), f.inputs.begin() + 4);
+  Totalizer tot(f.sink, first);
+  tot.addInputs(std::span<const Lit>(f.inputs.data() + 4, 2));
+  ASSERT_EQ(tot.numInputs(), 6);
+  const std::vector<Lit>& out = tot.outputs();
+  for (std::uint32_t mask = 0; mask < 64; ++mask) {
+    ASSERT_EQ(f.solveMask(mask), lbool::True);
+    const int pop = std::popcount(mask);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(f.solver.modelValue(out[static_cast<std::size_t>(i)]) ==
+                    lbool::True,
+                pop >= i + 1)
+          << "mask=" << mask << " out[" << i << "]";
+    }
+  }
+}
+
+TEST(Totalizer, EmptyThenExtend) {
+  Fixture f(3);
+  Totalizer tot(f.sink, {});
+  EXPECT_EQ(tot.numInputs(), 0);
+  tot.addInputs(f.inputs);
+  EXPECT_EQ(tot.numInputs(), 3);
+  // Assert at most 1 via the outputs.
+  f.sink.addClause({~tot.outputs()[1]});
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    EXPECT_EQ(f.solveMask(mask) == lbool::True, std::popcount(mask) <= 1);
+  }
+}
+
+TEST(EncodingSizes, SorterSmallerThanPairwiseForLargeN) {
+  const EncodingSize pairwise = measureAtMost(24, 1, CardEncoding::Pairwise);
+  const EncodingSize seq = measureAtMost(24, 1, CardEncoding::Sequential);
+  EXPECT_GT(pairwise.clauses, seq.clauses);
+  EXPECT_EQ(pairwise.auxVars, 0);
+}
+
+TEST(EncodingSizes, BddGrowsWithK) {
+  const EncodingSize k2 = measureAtMost(20, 2, CardEncoding::Bdd);
+  const EncodingSize k8 = measureAtMost(20, 8, CardEncoding::Bdd);
+  EXPECT_GT(k8.clauses, k2.clauses);
+}
+
+}  // namespace
+}  // namespace msu

@@ -1,0 +1,254 @@
+/// Tests for the experiment harness: suite construction, the run matrix,
+/// aborted accounting, scatter pairing, and the PBO engine used by the
+/// "pbo" table column.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/oracle.h"
+#include "gen/random_cnf.h"
+#include "harness/factory.h"
+#include "harness/runner.h"
+#include "harness/suite.h"
+#include "harness/tables.h"
+#include "pbo/maxsat_pbo.h"
+#include "pbo/pbo_solver.h"
+
+namespace msu {
+namespace {
+
+TEST(Suite, MixedSuiteFamiliesAndDeterminism) {
+  SuiteParams p;
+  p.perFamily = 2;
+  p.sizeScale = 0.3;
+  const std::vector<Instance> a = buildMixedSuite(p);
+  const std::vector<Instance> b = buildMixedSuite(p);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GE(a.size(), 8u);  // 4 families x 2 + php
+  std::set<std::string> families;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    families.insert(a[i].family);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].wcnf.numSoft(), b[i].wcnf.numSoft());
+    EXPECT_GT(a[i].wcnf.numSoft() + a[i].wcnf.numHard(), 0);
+  }
+  EXPECT_TRUE(families.contains("equivalence"));
+  EXPECT_TRUE(families.contains("bmc"));
+  EXPECT_TRUE(families.contains("debug"));
+  EXPECT_TRUE(families.contains("random"));
+  EXPECT_TRUE(families.contains("php"));
+}
+
+TEST(Suite, DebugSuiteIsPlainMaxSat) {
+  SuiteParams p;
+  p.perFamily = 3;
+  p.sizeScale = 0.3;
+  const std::vector<Instance> suite = buildDebugSuite(p);
+  ASSERT_GE(suite.size(), 3u);
+  for (const Instance& inst : suite) {
+    EXPECT_EQ(inst.family, "debug");
+    EXPECT_EQ(inst.wcnf.numHard(), 0);  // plain MaxSAT, as in Table 2
+  }
+}
+
+TEST(Runner, RecordsAndCrossCheck) {
+  // Tiny suite, two engines that must agree.
+  std::vector<Instance> suite;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    suite.push_back(Instance{
+        "rnd-" + std::to_string(seed), "random",
+        WcnfFormula::allSoft(randomKSat({.numVars = 10, .numClauses = 50,
+                                         .clauseLen = 3, .seed = seed}))});
+  }
+  RunConfig config;
+  config.timeoutSeconds = 5.0;
+  const std::vector<std::string> solvers{"msu4-v2", "maxsatz"};
+  const std::vector<RunRecord> records = runMatrix(solvers, suite, config);
+  ASSERT_EQ(records.size(), 6u);
+  for (const RunRecord& r : records) {
+    EXPECT_FALSE(r.aborted) << r.solver << " on " << r.instance;
+    EXPECT_EQ(r.status, MaxSatStatus::Optimum);
+    EXPECT_GE(r.seconds, 0.0);
+  }
+  std::ostringstream diag;
+  EXPECT_EQ(crossCheckOptima(records, diag), 0) << diag.str();
+}
+
+TEST(Runner, AbortedAccountingUnderTinyBudget) {
+  std::vector<Instance> suite;
+  suite.push_back(Instance{
+      "php-9-8", "php",
+      WcnfFormula::allSoft(
+          randomKSat({.numVars = 60, .numClauses = 500, .clauseLen = 3,
+                      .seed = 3}))});
+  RunConfig config;
+  config.timeoutSeconds = 0.01;
+  const std::vector<std::string> solvers{"maxsatz"};
+  const std::vector<RunRecord> records = runSolver("maxsatz", suite, config);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].aborted);
+}
+
+TEST(Tables, ScatterPairingAndCsv) {
+  std::vector<RunRecord> records;
+  auto add = [&](std::string solver, std::string inst, double t, bool ab) {
+    RunRecord r;
+    r.solver = std::move(solver);
+    r.instance = std::move(inst);
+    r.family = "f";
+    r.seconds = t;
+    r.aborted = ab;
+    r.status = ab ? MaxSatStatus::Unknown : MaxSatStatus::Optimum;
+    records.push_back(std::move(r));
+  };
+  add("a", "i1", 0.5, false);
+  add("a", "i2", 1.0, true);
+  add("b", "i1", 0.1, false);
+  add("b", "i2", 0.2, false);
+  add("b", "i3", 0.2, false);  // unmatched: no record for "a"
+
+  const std::vector<ScatterPoint> pts = makeScatter(records, "b", "a");
+  ASSERT_EQ(pts.size(), 2u);
+
+  std::ostringstream csv;
+  writeScatterCsv(csv, pts, "b", "a");
+  EXPECT_NE(csv.str().find("instance,family,b_seconds,a_seconds"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("i1"), std::string::npos);
+
+  std::ostringstream summary;
+  printScatterSummary(summary, pts, "b", "a");
+  EXPECT_NE(summary.str().find("aborted=1"), std::string::npos);
+}
+
+TEST(Tables, AbortedTableFormat) {
+  std::vector<RunRecord> records;
+  RunRecord r;
+  r.solver = "solverx";
+  r.instance = "i";
+  r.family = "f";
+  r.aborted = true;
+  r.status = MaxSatStatus::Unknown;
+  records.push_back(r);
+  std::ostringstream out;
+  const std::vector<std::string> order{"solverx"};
+  printAbortedTable(out, records, order, "T");
+  EXPECT_NE(out.str().find("solverx"), std::string::npos);
+  EXPECT_NE(out.str().find("1"), std::string::npos);
+}
+
+// ---- PBO engine ----------------------------------------------------------
+
+TEST(Pbo, TranslationShape) {
+  WcnfFormula w(2);
+  w.addHard({posLit(0)});
+  w.addSoft({posLit(1)}, 2);
+  w.addSoft({negLit(1)}, 1);
+  const PboProblem p = PboMaxSatSolver::toPbo(w);
+  EXPECT_EQ(p.numVars, 4);  // 2 original + 2 blocking
+  ASSERT_EQ(p.clauses.size(), 3u);
+  EXPECT_EQ(p.clauses[0].size(), 1u);   // hard unchanged
+  EXPECT_EQ(p.clauses[1].size(), 2u);   // soft + blocking var
+  ASSERT_EQ(p.objective.size(), 2u);
+  EXPECT_EQ(p.objective[0].coeff, 2);
+  EXPECT_EQ(p.objective[1].coeff, 1);
+}
+
+TEST(Pbo, SolvesWeightedObjective) {
+  // minimize 2*b0 + b1 subject to (b0 | b1).
+  PboProblem p;
+  p.numVars = 2;
+  p.clauses.push_back(Clause{posLit(0), posLit(1)});
+  p.objective = {PbTerm{posLit(0), 2}, PbTerm{posLit(1), 1}};
+  PboSolver solver;
+  const PboResult r = solver.solve(p);
+  ASSERT_EQ(r.status, PboStatus::Optimum);
+  EXPECT_EQ(r.objective, 1);
+  EXPECT_EQ(r.model[1], lbool::True);
+}
+
+TEST(Pbo, InfeasibleDetected) {
+  PboProblem p;
+  p.numVars = 1;
+  p.clauses.push_back(Clause{posLit(0)});
+  p.clauses.push_back(Clause{negLit(0)});
+  p.objective = {PbTerm{posLit(0), 1}};
+  PboSolver solver;
+  EXPECT_EQ(solver.solve(p).status, PboStatus::Infeasible);
+}
+
+TEST(Pbo, RespectsPbConstraints) {
+  // minimize b0 subject to b0 + b1 + b2 >= 2 encoded as
+  // (-1)*... : use sum(~b) <= 1  ==  sum(b) >= 2.
+  PboProblem p;
+  p.numVars = 3;
+  PbConstraint pc;
+  pc.terms = {PbTerm{negLit(0), 1}, PbTerm{negLit(1), 1},
+              PbTerm{negLit(2), 1}};
+  pc.bound = 1;
+  p.constraints.push_back(pc);
+  p.objective = {PbTerm{posLit(0), 1}, PbTerm{posLit(1), 1},
+                 PbTerm{posLit(2), 1}};
+  PboSolver solver;
+  const PboResult r = solver.solve(p);
+  ASSERT_EQ(r.status, PboStatus::Optimum);
+  EXPECT_EQ(r.objective, 2);
+}
+
+TEST(Pbo, AdderEncodingAgrees) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const WcnfFormula w = WcnfFormula::allSoft(randomKSat(
+        {.numVars = 8, .numClauses = 40, .clauseLen = 3, .seed = seed * 5}));
+    const OracleResult truth = oracleMaxSat(w);
+    PboMaxSatOptions o;
+    o.encoding = PbEncoding::Adder;
+    PboMaxSatSolver solver(o);
+    const MaxSatResult r = solver.solve(w);
+    ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+    EXPECT_EQ(r.cost, *truth.optimumCost) << "seed " << seed;
+  }
+}
+
+TEST(WeightedSuiteTest, DeterministicStructuredAndWeighted) {
+  SuiteParams sp;
+  sp.perFamily = 3;
+  const std::vector<Instance> a = buildWeightedSuite(sp);
+  const std::vector<Instance> b = buildWeightedSuite(sp);
+  ASSERT_EQ(a.size(), 9u);  // three families x perFamily
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].wcnf.numVars(), b[i].wcnf.numVars());
+    EXPECT_EQ(a[i].wcnf.numSoft(), b[i].wcnf.numSoft());
+  }
+  bool sawWeighted = false;
+  bool sawHard = false;
+  for (const Instance& inst : a) {
+    sawWeighted = sawWeighted || !inst.wcnf.isUnweighted();
+    sawHard = sawHard || inst.wcnf.numHard() > 0;
+    EXPECT_GT(inst.wcnf.numSoft(), 0) << inst.name;
+  }
+  EXPECT_TRUE(sawWeighted);
+  EXPECT_TRUE(sawHard);
+}
+
+TEST(WeightedSuiteTest, EveryInstanceSolvableByOll) {
+  SuiteParams sp;
+  sp.perFamily = 2;
+  sp.sizeScale = 0.5;
+  for (const Instance& inst : buildWeightedSuite(sp)) {
+    auto solver = makeSolver("oll");
+    const MaxSatResult r = solver->solve(inst.wcnf);
+    EXPECT_TRUE(r.status == MaxSatStatus::Optimum ||
+                r.status == MaxSatStatus::UnsatisfiableHard)
+        << inst.name;
+    if (r.status == MaxSatStatus::Optimum) {
+      const std::optional<Weight> c = inst.wcnf.cost(r.model);
+      ASSERT_TRUE(c.has_value()) << inst.name;
+      EXPECT_EQ(*c, r.cost) << inst.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msu

@@ -1,0 +1,278 @@
+/// Integration & property tests for every MaxSAT engine: agreement with
+/// the exhaustive oracle on randomized plain and partial instances,
+/// paper examples, pigeonhole optima, hard-unsat detection, budget
+/// behaviour and weighted handling.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "cnf/oracle.h"
+#include "core/binary_search.h"
+#include "core/linear_search.h"
+#include "core/msu1.h"
+#include "core/msu3.h"
+#include "core/msu4.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_cnf.h"
+#include "harness/factory.h"
+
+namespace msu {
+namespace {
+
+/// All engines under test, by factory name.
+std::vector<std::string> allEngines() {
+  return {"msu4-v1", "msu4-v2", "msu4-seq", "msu4-tot", "msu3",
+          "msu1",    "linear",  "binary",   "pbo",      "pbo-adder",
+          "maxsatz"};
+}
+
+/// A plain MaxSAT instance from a random CNF.
+WcnfFormula randomPlain(int n, int m, std::uint64_t seed) {
+  return WcnfFormula::allSoft(
+      randomKSat({.numVars = n, .numClauses = m, .clauseLen = 3,
+                  .seed = seed}));
+}
+
+/// A random partial MaxSAT instance: the first `h` clauses become hard
+/// only when they keep the hard part satisfiable.
+WcnfFormula randomPartial(int n, int m, int h, std::uint64_t seed) {
+  const CnfFormula f = randomKSat(
+      {.numVars = n, .numClauses = m, .clauseLen = 3, .seed = seed});
+  WcnfFormula w(f.numVars());
+  CnfFormula hardPart(f.numVars());
+  for (int i = 0; i < f.numClauses(); ++i) {
+    if (i < h) {
+      hardPart.addClause(f.clause(i));
+      if (oracleSat(hardPart)) {
+        w.addHard(f.clause(i));
+        continue;
+      }
+      // Would make the hard part unsat: demote to soft.
+    }
+    w.addSoft(f.clause(i), 1);
+  }
+  return w;
+}
+
+void expectSolvesTo(MaxSatSolver& solver, const WcnfFormula& w,
+                    const std::string& label) {
+  const OracleResult truth = oracleMaxSat(w);
+  const MaxSatResult r = solver.solve(w);
+  if (!truth.optimumCost) {
+    EXPECT_EQ(r.status, MaxSatStatus::UnsatisfiableHard) << label;
+    return;
+  }
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum)
+      << label << ": expected optimum " << *truth.optimumCost;
+  EXPECT_EQ(r.cost, *truth.optimumCost) << label;
+  // The model must be feasible and achieve the reported cost.
+  ASSERT_EQ(static_cast<int>(r.model.size()), w.numVars()) << label;
+  const std::optional<Weight> modelCost = w.cost(r.model);
+  ASSERT_TRUE(modelCost.has_value()) << label << ": model violates hards";
+  EXPECT_EQ(*modelCost, r.cost) << label << ": model does not achieve cost";
+  EXPECT_EQ(r.lowerBound, r.cost) << label;
+  EXPECT_EQ(r.upperBound, r.cost) << label;
+}
+
+class EveryEngine : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<MaxSatSolver> make() {
+    auto s = makeSolver(GetParam());
+    EXPECT_NE(s, nullptr);
+    return s;
+  }
+};
+
+TEST_P(EveryEngine, PaperExample2) {
+  // §3.3: optimum satisfies 6 of 8 clauses (cost 2).
+  CnfFormula phi(4);
+  phi.addClause({posLit(0)});
+  phi.addClause({negLit(0), negLit(1)});
+  phi.addClause({posLit(1)});
+  phi.addClause({negLit(0), negLit(2)});
+  phi.addClause({posLit(2)});
+  phi.addClause({negLit(1), negLit(2)});
+  phi.addClause({posLit(0), negLit(3)});
+  phi.addClause({negLit(0), posLit(3)});
+  auto solver = make();
+  const MaxSatResult r = solver->solve(WcnfFormula::allSoft(phi));
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+  EXPECT_EQ(r.cost, 2);
+}
+
+TEST_P(EveryEngine, SatisfiableInstanceHasCostZero) {
+  CnfFormula f(3);
+  f.addClause({posLit(0), posLit(1)});
+  f.addClause({negLit(1), posLit(2)});
+  auto solver = make();
+  const MaxSatResult r = solver->solve(WcnfFormula::allSoft(f));
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST_P(EveryEngine, PigeonholeOptimumIsOne) {
+  for (int holes : {2, 3, 4}) {
+    auto solver = make();
+    const MaxSatResult r =
+        solver->solve(WcnfFormula::allSoft(pigeonhole(holes + 1, holes)));
+    ASSERT_EQ(r.status, MaxSatStatus::Optimum) << "holes " << holes;
+    EXPECT_EQ(r.cost, pigeonholeOptCost(holes)) << "holes " << holes;
+  }
+}
+
+TEST_P(EveryEngine, RandomPlainAgreesWithOracle) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const WcnfFormula w = randomPlain(8, 40, seed * 131);
+    auto solver = make();
+    expectSolvesTo(*solver, w, GetParam() + " seed=" + std::to_string(seed));
+  }
+}
+
+TEST_P(EveryEngine, RandomPartialAgreesWithOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const WcnfFormula w = randomPartial(8, 36, 6, seed * 733);
+    auto solver = make();
+    expectSolvesTo(*solver,
+                   w, GetParam() + " partial seed=" + std::to_string(seed));
+  }
+}
+
+TEST_P(EveryEngine, UnsatisfiableHardDetected) {
+  WcnfFormula w(2);
+  w.addHard({posLit(0)});
+  w.addHard({negLit(0)});
+  w.addSoft({posLit(1)}, 1);
+  auto solver = make();
+  EXPECT_EQ(solver->solve(w).status, MaxSatStatus::UnsatisfiableHard);
+}
+
+TEST_P(EveryEngine, EmptySoftClauseContributesOne) {
+  WcnfFormula w(1);
+  w.addSoft(std::initializer_list<Lit>{}, 1);  // falsum: always costs 1
+  w.addSoft({posLit(0)}, 1);
+  auto solver = make();
+  const MaxSatResult r = solver->solve(w);
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum) << GetParam();
+  EXPECT_EQ(r.cost, 1) << GetParam();
+}
+
+TEST_P(EveryEngine, NoSoftClauses) {
+  WcnfFormula w(1);
+  w.addHard({posLit(0)});
+  auto solver = make();
+  const MaxSatResult r = solver->solve(w);
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST_P(EveryEngine, TinyBudgetReturnsUnknownOnHardInstance) {
+  const WcnfFormula w = WcnfFormula::allSoft(pigeonhole(10, 9));
+  MaxSatOptions o;
+  o.budget = Budget::wallClock(0.02);
+  auto solver = makeSolver(GetParam(), o);
+  const MaxSatResult r = solver->solve(w);
+  // Either it is genuinely that fast (fine) or it reports Unknown with
+  // coherent bounds.
+  if (r.status == MaxSatStatus::Unknown) {
+    EXPECT_LE(r.lowerBound, r.upperBound);
+    EXPECT_GE(r.lowerBound, 0);
+  } else {
+    EXPECT_EQ(r.status, MaxSatStatus::Optimum);
+    EXPECT_EQ(r.cost, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EveryEngine,
+                         ::testing::ValuesIn(allEngines()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---- Weighted instances (handled via duplication or natively) ----------
+
+TEST(WeightedMaxSat, SmallWeightedAgreesWithOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed * 17);
+    const CnfFormula f = randomKSat(
+        {.numVars = 7, .numClauses = 24, .clauseLen = 3, .seed = rng()});
+    WcnfFormula w(f.numVars());
+    for (const Clause& c : f.clauses()) {
+      w.addSoft(c, 1 + static_cast<Weight>(rng() % 3));
+    }
+    const OracleResult truth = oracleMaxSat(w);
+    ASSERT_TRUE(truth.optimumCost.has_value());
+    for (const std::string& name :
+         {std::string("msu4-v2"), std::string("pbo"), std::string("maxsatz")}) {
+      auto solver = makeSolver(name);
+      const MaxSatResult r = solver->solve(w);
+      ASSERT_EQ(r.status, MaxSatStatus::Optimum) << name;
+      EXPECT_EQ(r.cost, *truth.optimumCost) << name << " seed " << seed;
+    }
+  }
+}
+
+// ---- msu4-specific behaviour -------------------------------------------
+
+TEST(Msu4, VariantNames) {
+  EXPECT_EQ(Msu4Solver::v1().name(), "msu4-v1");
+  EXPECT_EQ(Msu4Solver::v2().name(), "msu4-v2");
+}
+
+TEST(Msu4, OptionalAtLeastOneOffStillCorrect) {
+  // The paper calls the line-19 constraint optional; correctness must not
+  // depend on it.
+  MaxSatOptions o;
+  o.msu4AtLeastOne = false;
+  Msu4Solver solver(o);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WcnfFormula w = randomPlain(8, 40, seed * 271);
+    expectSolvesTo(solver, w, "no-atleastone seed=" + std::to_string(seed));
+  }
+}
+
+TEST(Msu4, NoEncodingReuseStillCorrect) {
+  MaxSatOptions o;
+  o.reuseEncodings = false;
+  Msu4Solver solver(o);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WcnfFormula w = randomPlain(8, 40, seed * 613);
+    expectSolvesTo(solver, w, "no-reuse seed=" + std::to_string(seed));
+  }
+}
+
+TEST(Msu4, PaperNuInsteadOfTightenedCost) {
+  // Using the paper's raw blocking-variable count (instead of the
+  // tightened model cost) must still find the optimum.
+  MaxSatOptions o;
+  o.tightenWithModelCost = false;
+  Msu4Solver solver(o);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WcnfFormula w = randomPlain(8, 40, seed * 997);
+    expectSolvesTo(solver, w, "paper-nu seed=" + std::to_string(seed));
+  }
+}
+
+TEST(Msu4, BoundsConvergeMonotonically) {
+  const WcnfFormula w = randomPlain(10, 55, 4242);
+  Msu4Solver solver;
+  const MaxSatResult r = solver.solve(w);
+  ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+  EXPECT_GE(r.coresFound, 1);
+  EXPECT_GE(r.iterations, r.coresFound);
+}
+
+TEST(Factory, KnowsAllNamesAndRejectsUnknown) {
+  for (const std::string& name : solverNames()) {
+    EXPECT_NE(makeSolver(name), nullptr) << name;
+  }
+  EXPECT_EQ(makeSolver("no-such-solver"), nullptr);
+}
+
+}  // namespace
+}  // namespace msu

@@ -1,0 +1,272 @@
+/// Tests for the SatELite-style preprocessor:
+///  * equisatisfiability on random formulas (oracle-checked both ways);
+///  * model reconstruction yields genuine models of the original;
+///  * each technique in isolation (subsumption, strengthening, BVE)
+///    does what it advertises on crafted inputs;
+///  * frozen variables survive and keep their meaning;
+///  * MaxSAT hard-clause preprocessing preserves the optimum;
+///  * unsat detection and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cnf/oracle.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_cnf.h"
+#include "harness/factory.h"
+#include "sat/solver.h"
+#include "simp/simp.h"
+
+namespace msu {
+namespace {
+
+/// Solves with CDCL; formulas here are small.
+lbool solveCdcl(const CnfFormula& cnf, Assignment* model = nullptr) {
+  Solver solver;
+  for (Var v = 0; v < cnf.numVars(); ++v) static_cast<void>(solver.newVar());
+  for (const Clause& c : cnf.clauses()) {
+    if (!solver.addClause(c)) return lbool::False;
+  }
+  const lbool st = solver.solve();
+  if (st == lbool::True && model != nullptr) {
+    model->assign(static_cast<std::size_t>(cnf.numVars()), lbool::Undef);
+    for (Var v = 0; v < cnf.numVars(); ++v) {
+      (*model)[static_cast<std::size_t>(v)] =
+          solver.model()[static_cast<std::size_t>(v)];
+    }
+  }
+  return st;
+}
+
+TEST(SimpTest, EquisatisfiableOnRandomFormulas) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const CnfFormula f = randomKSat(
+        {.numVars = 14, .numClauses = 55, .clauseLen = 3, .seed = seed});
+    Preprocessor pre;
+    const CnfFormula g = pre.run(f);
+    const bool origSat = oracleSat(f).has_value();
+    if (pre.provedUnsat()) {
+      EXPECT_FALSE(origSat) << "seed " << seed;
+      continue;
+    }
+    const lbool simplifiedSat = solveCdcl(g);
+    ASSERT_NE(simplifiedSat, lbool::Undef);
+    EXPECT_EQ(simplifiedSat == lbool::True, origSat) << "seed " << seed;
+  }
+}
+
+TEST(SimpTest, ReconstructedModelsSatisfyTheOriginal) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const CnfFormula f = randomKSat(
+        {.numVars = 16, .numClauses = 40, .clauseLen = 3, .seed = seed * 17});
+    Preprocessor pre;
+    const CnfFormula g = pre.run(f);
+    if (pre.provedUnsat()) {
+      EXPECT_FALSE(oracleSat(f).has_value()) << "seed " << seed;
+      continue;
+    }
+    Assignment model;
+    const lbool st = solveCdcl(g, &model);
+    if (st != lbool::True) continue;
+    const Assignment full = pre.reconstruct(model);
+    EXPECT_TRUE(f.satisfies(full)) << "seed " << seed;
+  }
+}
+
+TEST(SimpTest, SubsumedClausesAreRemoved) {
+  CnfFormula f(3);
+  f.addClause({posLit(0), posLit(1)});
+  f.addClause({posLit(0), posLit(1), posLit(2)});  // subsumed
+  f.addClause({negLit(0), posLit(2)});
+  SimpOptions opts;
+  opts.strengthen = false;
+  opts.eliminate = false;
+  Preprocessor pre(opts);
+  const CnfFormula g = pre.run(f);
+  EXPECT_EQ(pre.stats().subsumed, 1);
+  EXPECT_EQ(g.numClauses(), 2);
+}
+
+TEST(SimpTest, SelfSubsumingResolutionStrengthens) {
+  // (a ∨ b) and (a ∨ ¬b ∨ c) -> second becomes (a ∨ c).
+  CnfFormula f(3);
+  f.addClause({posLit(0), posLit(1)});
+  f.addClause({posLit(0), negLit(1), posLit(2)});
+  SimpOptions opts;
+  opts.subsumption = false;
+  opts.eliminate = false;
+  Preprocessor pre(opts);
+  const CnfFormula g = pre.run(f);
+  EXPECT_EQ(pre.stats().strengthened, 1);
+  bool found = false;
+  for (const Clause& c : g.clauses()) {
+    found = found || (c == Clause{posLit(0), posLit(2)});
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimpTest, BveEliminatesPureAndLowOccurrenceVariables) {
+  // x1 appears once per polarity: elimination replaces two clauses by
+  // one resolvent.
+  CnfFormula f(3);
+  f.addClause({posLit(0), posLit(1)});
+  f.addClause({negLit(0), posLit(2)});
+  SimpOptions opts;
+  opts.subsumption = false;
+  opts.strengthen = false;
+  Preprocessor pre(opts);
+  const CnfFormula g = pre.run(f);
+  EXPECT_GE(pre.stats().varsEliminated, 1);
+  // Everything is eliminable here; the result must be satisfiable and
+  // reconstruct to a model of f.
+  Assignment model;
+  const lbool st = solveCdcl(g, &model);
+  ASSERT_EQ(st, lbool::True);
+  EXPECT_TRUE(f.satisfies(pre.reconstruct(model)));
+}
+
+TEST(SimpTest, FrozenVariablesAreNeverEliminated) {
+  CnfFormula f(4);
+  f.addClause({posLit(0), posLit(1)});
+  f.addClause({negLit(0), posLit(2)});
+  f.addClause({negLit(2), posLit(3)});
+  Preprocessor pre;
+  const CnfFormula g = pre.run(f, {0, 2});
+  // Frozen vars may still occur; check by resolving a model.
+  Assignment model;
+  if (solveCdcl(g, &model) == lbool::True) {
+    const Assignment full = pre.reconstruct(model);
+    EXPECT_TRUE(f.satisfies(full));
+  }
+  // Eliminating var 1 or 3 is fine, 0 and 2 must survive any run: force
+  // them with units and expect consistency.
+  CnfFormula g2 = g;
+  g2.addClause({posLit(0)});
+  g2.addClause({posLit(2)});
+  // f ∧ x0 ∧ x2 is satisfiable (x1 free, x3 picks up the last clause):
+  // the simplified formula must agree because 0 and 2 kept their meaning.
+  EXPECT_EQ(solveCdcl(g2), lbool::True);
+  CnfFormula g3 = g;
+  g3.addClause({posLit(0)});
+  g3.addClause({negLit(2)});
+  // f ∧ x0 ∧ ¬x2 falsifies (¬x0 ∨ x2): must stay unsatisfiable.
+  EXPECT_EQ(solveCdcl(g3), lbool::False);
+}
+
+TEST(SimpTest, UnsatDetectedByPropagation) {
+  CnfFormula f(2);
+  f.addClause({posLit(0)});
+  f.addClause({negLit(0), posLit(1)});
+  f.addClause({negLit(1)});
+  Preprocessor pre;
+  const CnfFormula g = pre.run(f);
+  EXPECT_TRUE(pre.provedUnsat());
+  EXPECT_EQ(solveCdcl(g), lbool::False);
+}
+
+TEST(SimpTest, UnsatDetectedThroughElimination) {
+  const CnfFormula f = pigeonhole(3, 2);
+  Preprocessor pre;
+  const CnfFormula g = pre.run(f);
+  // Whether or not preprocessing alone refutes it, the result must
+  // still be unsatisfiable.
+  EXPECT_EQ(solveCdcl(g), lbool::False);
+}
+
+TEST(SimpTest, DegenerateInputs) {
+  {
+    CnfFormula empty(0);
+    Preprocessor pre;
+    const CnfFormula g = pre.run(empty);
+    EXPECT_FALSE(pre.provedUnsat());
+    EXPECT_EQ(g.numClauses(), 0);
+  }
+  {
+    CnfFormula f(1);
+    f.addClause(std::initializer_list<Lit>{});
+    Preprocessor pre;
+    static_cast<void>(pre.run(f));
+    EXPECT_TRUE(pre.provedUnsat());
+  }
+  {
+    // Tautologies disappear.
+    CnfFormula f(2);
+    f.addClause({posLit(0), negLit(0)});
+    f.addClause({posLit(1)});
+    Preprocessor pre;
+    const CnfFormula g = pre.run(f);
+    EXPECT_FALSE(pre.provedUnsat());
+    EXPECT_EQ(g.numClauses(), 1);
+  }
+}
+
+TEST(SimpTest, IdempotentOnItsOwnOutput) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const CnfFormula f = randomKSat(
+        {.numVars = 12, .numClauses = 40, .clauseLen = 3, .seed = seed * 3});
+    Preprocessor first;
+    const CnfFormula g = first.run(f);
+    if (first.provedUnsat()) continue;
+    Preprocessor second;
+    const CnfFormula h = second.run(g);
+    // A second pass may still shuffle clauses but must not grow.
+    EXPECT_LE(h.numClauses(), g.numClauses()) << "seed " << seed;
+  }
+}
+
+TEST(SimpTest, PreprocessHardPreservesTheOptimum) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 10; ++round) {
+    WcnfFormula w(10);
+    for (int i = 0; i < 14; ++i) {
+      Clause c;
+      for (int k = 0; k < 3; ++k) {
+        c.push_back(mkLit(static_cast<Var>(rng() % 10), (rng() & 1) != 0));
+      }
+      w.addHard(c);
+    }
+    for (int i = 0; i < 12; ++i) {
+      Clause c;
+      for (int k = 0; k < 2; ++k) {
+        c.push_back(mkLit(static_cast<Var>(rng() % 10), (rng() & 1) != 0));
+      }
+      w.addSoft(c, 1 + static_cast<Weight>(rng() % 4));
+    }
+    auto [simplified, pre] = preprocessHard(w);
+    const OracleResult a = oracleMaxSat(w);
+    const OracleResult b = oracleMaxSat(simplified);
+    ASSERT_EQ(a.optimumCost.has_value(), b.optimumCost.has_value())
+        << "round " << round;
+    if (a.optimumCost) {
+      EXPECT_EQ(*a.optimumCost, *b.optimumCost) << "round " << round;
+      // And an engine on the simplified instance agrees.
+      auto solver = makeSolver("oll");
+      const MaxSatResult r = solver->solve(simplified);
+      ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+      EXPECT_EQ(r.cost, *a.optimumCost) << "round " << round;
+    }
+  }
+}
+
+TEST(SimpTest, LargeRandomRoundTripUnderCdcl) {
+  // Bigger instances than the oracle can check: compare CDCL verdicts.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CnfFormula f = randomKSat(
+        {.numVars = 60, .numClauses = 240, .clauseLen = 3, .seed = seed * 7});
+    Preprocessor pre;
+    const CnfFormula g = pre.run(f);
+    const lbool orig = solveCdcl(f);
+    const lbool simp = pre.provedUnsat() ? lbool::False : solveCdcl(g);
+    ASSERT_NE(orig, lbool::Undef);
+    EXPECT_EQ(orig, simp) << "seed " << seed;
+    if (simp == lbool::True) {
+      Assignment model;
+      ASSERT_EQ(solveCdcl(g, &model), lbool::True);
+      EXPECT_TRUE(f.satisfies(pre.reconstruct(model))) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msu
