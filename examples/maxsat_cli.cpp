@@ -20,6 +20,7 @@
 #include "cnf/dimacs.h"
 #include "core/preprocess.h"
 #include "harness/factory.h"
+#include "harness/tables.h"
 
 namespace {
 
@@ -148,9 +149,7 @@ int main(int argc, char** argv) {
     std::cout << "c iterations " << result.iterations << "\n";
     std::cout << "c cores      " << result.coresFound << "\n";
     std::cout << "c sat-calls  " << result.satCalls << "\n";
-    std::cout << "c conflicts  " << result.satStats.conflicts << "\n";
-    std::cout << "c decisions  " << result.satStats.decisions << "\n";
-    std::cout << "c props      " << result.satStats.propagations << "\n";
+    printSatStats(std::cout, result.satStats, "CDCL substrate:", "c ");
   }
   return result.status == MaxSatStatus::Unknown ? 1 : 0;
 }

@@ -158,4 +158,37 @@ void printScatterSummary(std::ostream& out,
   }
 }
 
+// Deliberately hand-formatted rather than driven by
+// SolverStats::forEachField: the table groups and indents related rows
+// (binary/long under propagations) and uses human labels.
+void printSatStats(std::ostream& out, const SolverStats& stats,
+                   const std::string& title,
+                   const std::string& linePrefix) {
+  const auto row = [&out, &linePrefix](const char* label,
+                                       std::int64_t value) {
+    out << linePrefix << "  " << std::left << std::setw(24) << label
+        << std::right << std::setw(14) << value << '\n';
+  };
+  out << linePrefix << title << '\n';
+  row("solves", stats.solves);
+  row("decisions", stats.decisions);
+  row("conflicts", stats.conflicts);
+  row("restarts", stats.restarts);
+  row("propagations", stats.propagations);
+  row("  binary", stats.binary_propagations);
+  row("  long", stats.long_propagations);
+  row("blocker hits", stats.blocker_hits);
+  row("watch bytes visited", stats.watch_bytes_visited);
+  row("learnt clauses", stats.learnt_clauses);
+  row("learnt literals", stats.learnt_literals);
+  row("minimized literals", stats.minimized_literals);
+  row("removed clauses", stats.removed_clauses);
+  row("promoted clauses", stats.promoted_clauses);
+  row("demoted clauses", stats.demoted_clauses);
+  row("tier core", stats.tier_core);
+  row("tier tier2", stats.tier_tier2);
+  row("tier local", stats.tier_local);
+  row("gc runs", stats.gc_runs);
+}
+
 }  // namespace msu

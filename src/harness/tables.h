@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "sat/stats.h"
 
 namespace msu {
 
@@ -49,5 +50,14 @@ void writeScatterCsv(std::ostream& out, std::span<const ScatterPoint> points,
 void printScatterSummary(std::ostream& out,
                          std::span<const ScatterPoint> points,
                          const std::string& xName, const std::string& yName);
+
+/// Prints the CDCL substrate counters (search totals, the propagation
+/// breakdown from the flat-watch/binary-fast-path core, and the learnt
+/// database's tier occupancy) as a labelled two-column table. Every
+/// line starts with `linePrefix` (e.g. "c " to keep DIMACS-style
+/// solver output machine-skippable).
+void printSatStats(std::ostream& out, const SolverStats& stats,
+                   const std::string& title,
+                   const std::string& linePrefix = "");
 
 }  // namespace msu

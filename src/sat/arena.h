@@ -10,6 +10,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <span>
 #include <vector>
 
@@ -28,7 +29,10 @@ inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
 /// Layout (32-bit words):
 ///   word 0: header — size<<3 | relocated<<2 | deleted<<1 | learnt
 ///   word 1: float activity       (learnt clauses only)
-///   word 2: LBD / glue level     (learnt clauses only)
+///   word 2: learnt metadata      (learnt clauses only):
+///             bits  0..23  LBD / glue level (saturating)
+///             bits 24..25  `used` aging counter for the tiered DB
+///             bits 26..27  tier (0 = core, 1 = tier2, 2 = local)
 ///   then `size` literal words.
 class ClauseRefView {
  public:
@@ -55,11 +59,41 @@ class ClauseRefView {
   /// learning time; Glucose's "glue").
   [[nodiscard]] std::uint32_t lbd() const {
     assert(learnt());
-    return base_[2];
+    return base_[2] & kLbdMask;
   }
   void setLbd(std::uint32_t lbd) {
     assert(learnt());
-    base_[2] = lbd;
+    base_[2] = (base_[2] & ~kLbdMask) | (lbd < kLbdMask ? lbd : kLbdMask);
+  }
+
+  /// `used` aging counter (0..3) consumed by the tiered reduceDB.
+  [[nodiscard]] std::uint32_t used() const {
+    assert(learnt());
+    return (base_[2] >> 24) & 3u;
+  }
+  void setUsed(std::uint32_t used) {
+    assert(learnt() && used <= 3u);
+    base_[2] = (base_[2] & ~(3u << 24)) | (used << 24);
+  }
+
+  /// Learnt-DB tier (0 = core, 1 = tier2, 2 = local).
+  [[nodiscard]] std::uint32_t tier() const {
+    assert(learnt());
+    return (base_[2] >> 26) & 3u;
+  }
+  void setTier(std::uint32_t tier) {
+    assert(learnt() && tier <= 3u);
+    base_[2] = (base_[2] & ~(3u << 26)) | (tier << 26);
+  }
+
+  /// Raw learnt-metadata word (LBD + used + tier), for GC relocation.
+  [[nodiscard]] std::uint32_t learntMeta() const {
+    assert(learnt());
+    return base_[2];
+  }
+  void setLearntMeta(std::uint32_t meta) {
+    assert(learnt());
+    base_[2] = meta;
   }
 
   [[nodiscard]] Lit& operator[](int i) {
@@ -94,6 +128,8 @@ class ClauseRefView {
   }
 
  private:
+  static constexpr std::uint32_t kLbdMask = 0x00FF'FFFFu;
+
   [[nodiscard]] std::uint32_t* litBase() const {
     return base_ + (learnt() ? 3 : 1);
   }
@@ -108,6 +144,10 @@ class ClauseArena {
 
   /// Allocates a clause; returns its reference.
   [[nodiscard]] CRef alloc(std::span<const Lit> lits, bool learnt) {
+    // CRefs must stay below 2^31: the solver packs a tag bit beside
+    // them (see Reason in watches.h). Fail loudly rather than hand out
+    // references whose top bit would be misread as the binary tag.
+    if (mem_.size() + lits.size() + 3 > (1u << 31)) std::abort();
     const auto size = static_cast<std::uint32_t>(lits.size());
     const CRef ref = static_cast<CRef>(mem_.size());
     mem_.push_back((size << 3) | (learnt ? 1u : 0u));
@@ -154,7 +194,7 @@ class ClauseArena {
     const CRef fresh = to.alloc(c.lits(), c.learnt());
     if (c.learnt()) {
       to[fresh].setActivity(c.activity());
-      to[fresh].setLbd(c.lbd());
+      to[fresh].setLearntMeta(c.learntMeta());
     }
     if (c.deleted()) to[fresh].markDeleted();
     c.setRelocated(fresh);

@@ -32,8 +32,10 @@ Solver::Solver(const Options& opts) : opts_(opts), order_heap_(activity_) {}
 
 Var Solver::newVar(bool decisionVar) {
   const Var v = numVars();
-  watches_.emplace_back();
-  watches_.emplace_back();
+  watches_.addLiteral();
+  watches_.addLiteral();
+  binwatches_.addLiteral();
+  binwatches_.addLiteral();
   assigns_.push_back(lbool::Undef);
   vardata_.push_back(VarData{});
   polarity_.push_back(1);  // default phase: assign false first
@@ -74,9 +76,13 @@ bool Solver::addClause(std::span<const Lit> lits) {
   }
   if (ps.size() == 1) {
     uncheckedEnqueue(ps[0]);
-    ok_ = (propagate() == kCRefUndef);
+    ok_ = propagate().isNone();
     if (!ok_) traceLemma({});  // level-0 conflict refutes the database
     return ok_;
+  }
+  if (ps.size() == 2) {
+    attachBinary(ps[0], ps[1], /*learnt=*/false);
+    return true;
   }
   const CRef ref = arena_.alloc(ps, /*learnt=*/false);
   clauses_.push_back(ref);
@@ -86,21 +92,20 @@ bool Solver::addClause(std::span<const Lit> lits) {
 
 void Solver::attachClause(CRef ref) {
   ClauseRefView c = arena_[ref];
-  assert(c.size() > 1);
-  watches_[(~c[0]).index()].push_back(Watcher{ref, c[1]});
-  watches_[(~c[1]).index()].push_back(Watcher{ref, c[0]});
+  assert(c.size() > 2);
+  watches_.push(~c[0], Watcher{ref, c[1]});
+  watches_.push(~c[1], Watcher{ref, c[0]});
 }
 
-void Solver::detachClause(CRef ref) {
-  ClauseRefView c = arena_[ref];
-  assert(c.size() > 1);
-  auto strip = [&](std::vector<Watcher>& ws) {
-    ws.erase(std::remove_if(ws.begin(), ws.end(),
-                            [&](const Watcher& w) { return w.cref == ref; }),
-             ws.end());
-  };
-  strip(watches_[(~c[0]).index()]);
-  strip(watches_[(~c[1]).index()]);
+void Solver::attachBinary(Lit a, Lit b, bool learnt) {
+  const std::uint32_t flag = learnt ? 1u : 0u;
+  binwatches_.push(~a, BinWatch{b, flag});
+  binwatches_.push(~b, BinWatch{a, flag});
+  if (learnt) {
+    ++num_bin_learnt_;
+  } else {
+    ++num_bin_orig_;
+  }
 }
 
 void Solver::removeClause(CRef ref) {
@@ -111,9 +116,9 @@ void Solver::removeClause(CRef ref) {
     for (int k = 0; k < c.size(); ++k) lits.push_back(c[k]);
     traceDeleted(lits);
   }
-  detachClause(ref);
   // A reason clause must not keep dangling references.
-  if (locked(ref)) vardata_[c[0].var()].reason = kCRefUndef;
+  if (locked(ref)) vardata_[c[0].var()].reason = Reason::none();
+  if (c.learnt()) --tierGauge(c.tier());
   arena_.markWasted(c.size(), c.learnt());
   c.markDeleted();
 }
@@ -121,34 +126,82 @@ void Solver::removeClause(CRef ref) {
 bool Solver::locked(CRef ref) const {
   const ClauseRefView c = arena_[ref];
   const Lit p = c[0];
-  return value(p) == lbool::True && reason(p.var()) == ref;
+  return value(p) == lbool::True && reason(p.var()) == Reason::clause(ref);
 }
 
-void Solver::uncheckedEnqueue(Lit p, CRef from) {
+std::int64_t& Solver::tierGauge(std::uint32_t tier) {
+  switch (tier) {
+    case kTierCore:
+      return stats_.tier_core;
+    case kTier2:
+      return stats_.tier_tier2;
+    default:
+      return stats_.tier_local;
+  }
+}
+
+void Solver::uncheckedEnqueue(Lit p, Reason from) {
   assert(value(p) == lbool::Undef);
   assigns_[p.var()] = toLbool(p.positive());
   vardata_[p.var()] = VarData{from, decisionLevel()};
   trail_.push_back(p);
 }
 
-CRef Solver::propagate() {
-  CRef confl = kCRefUndef;
+Reason Solver::propagate() {
+  Reason confl = Reason::none();
+  int bhead = qhead_;  // binary-phase head; always >= qhead_
   while (qhead_ < trailSize()) {
+    // ---- Phase 1: saturate binary implications across the whole
+    // pending trail before touching any long clause. The binary lists
+    // store the implied literal inline (no arena access), so this
+    // surfaces conflicts and forced literals at minimal cost and
+    // shrinks the long-clause work that follows. ----
+    while (bhead < trailSize()) {
+      const Lit p = trail_[bhead++];
+      const std::span<const BinWatch> bins = binwatches_.list(p);
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        const BinWatch& bw = bins[b];
+        const lbool v = value(bw.implied);
+        if (v == lbool::False) {
+          stats_.watch_bytes_visited +=
+              static_cast<std::int64_t>((b + 1) * sizeof(BinWatch));
+          bin_confl_ = {bw.implied, ~p};
+          qhead_ = trailSize();
+          return Reason::binary(~p);
+        }
+        if (v == lbool::Undef) {
+          uncheckedEnqueue(bw.implied, Reason::binary(~p));
+          ++stats_.binary_propagations;
+        }
+      }
+      stats_.watch_bytes_visited +=
+          static_cast<std::int64_t>(bins.size() * sizeof(BinWatch));
+    }
+
+    // ---- Phase 2: long clauses over the flat watch pool ----
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
-    std::vector<Watcher>& ws = watches_[p.index()];
-    std::size_t i = 0;
-    std::size_t j = 0;
-    const std::size_t end = ws.size();
-    while (i != end) {
+    const std::uint32_t off = watches_.offsetOf(p);
+    const std::uint32_t n = watches_.sizeOf(p);
+    Watcher* ws = watches_.poolPtrAt(off);
+    stats_.watch_bytes_visited +=
+        static_cast<std::int64_t>(n * sizeof(Watcher));
+    std::uint32_t i = 0;
+    std::uint32_t j = 0;
+    while (i != n) {
       // Try the blocker first to avoid touching the clause.
       const Watcher w = ws[i];
       if (value(w.blocker) == lbool::True) {
+        ++stats_.blocker_hits;
         ws[j++] = ws[i++];
         continue;
       }
 
       ClauseRefView c = arena_[w.cref];
+      if (c.deleted()) {  // lazily detached by removeClause
+        ++i;
+        continue;
+      }
       // Make sure the false literal is at position 1.
       const Lit falseLit = ~p;
       if (c[0] == falseLit) {
@@ -170,7 +223,8 @@ CRef Solver::propagate() {
         if (value(c[k]) != lbool::False) {
           c[1] = c[k];
           c[k] = falseLit;
-          watches_[(~c[1]).index()].push_back(Watcher{w.cref, first});
+          watches_.push(~c[1], Watcher{w.cref, first});
+          ws = watches_.poolPtrAt(off);  // push may move the pool
           foundWatch = true;
           break;
         }
@@ -180,15 +234,19 @@ CRef Solver::propagate() {
       // Clause is unit or conflicting.
       ws[j++] = Watcher{w.cref, first};
       if (value(first) == lbool::False) {
-        confl = w.cref;
+        confl = Reason::clause(w.cref);
         qhead_ = trailSize();
-        while (i != end) ws[j++] = ws[i++];
+        // The tail is copied, not inspected — don't count it as visited.
+        stats_.watch_bytes_visited -=
+            static_cast<std::int64_t>((n - i) * sizeof(Watcher));
+        while (i != n) ws[j++] = ws[i++];
       } else {
-        uncheckedEnqueue(first, w.cref);
+        uncheckedEnqueue(first, Reason::clause(w.cref));
+        ++stats_.long_propagations;
       }
     }
-    ws.resize(j);
-    if (confl != kCRefUndef) break;
+    watches_.shrinkList(p, j);
+    if (!confl.isNone()) break;
   }
   return confl;
 }
@@ -238,7 +296,34 @@ void Solver::claBumpActivity(ClauseRefView c) {
   }
 }
 
-void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
+void Solver::bumpLearnt(ClauseRefView c) {
+  claBumpActivity(c);
+  if (!opts_.lbd_reduce) return;
+  // Tiered DB: refresh the aging counter and re-evaluate the glue. A
+  // clause whose LBD improves migrates towards a more protected tier
+  // (core is terminal — never demoted).
+  if (c.used() < 3) c.setUsed(c.used() + 1);
+  const std::uint32_t newLbd = computeLbd(c.lits());
+  if (newLbd < c.lbd()) {
+    c.setLbd(newLbd);
+    const std::uint32_t t = c.tier();
+    std::uint32_t nt = t;
+    if (newLbd <= 2) {
+      nt = kTierCore;
+    } else if (t == kTierLocal &&
+               newLbd <= static_cast<std::uint32_t>(opts_.tier2_lbd)) {
+      nt = kTier2;
+    }
+    if (nt != t) {
+      --tierGauge(t);
+      ++tierGauge(nt);
+      c.setTier(nt);
+      ++stats_.promoted_clauses;
+    }
+  }
+}
+
+void Solver::analyze(Reason confl, std::vector<Lit>& outLearnt,
                      int& outBtLevel) {
   int pathC = 0;
   Lit p = kUndefLit;
@@ -247,12 +332,24 @@ void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
   int index = trailSize() - 1;
 
   do {
-    assert(confl != kCRefUndef);
-    ClauseRefView c = arena_[confl];
-    if (c.learnt()) claBumpActivity(c);
+    assert(!confl.isNone());
+    // Antecedent literals: binary reasons resolve inline (no arena
+    // access); clause reasons keep the propagated literal at slot 0.
+    std::array<Lit, 2> binLits;
+    std::span<const Lit> lits;
+    if (confl.isBinary()) {
+      binLits = (p == kUndefLit) ? bin_confl_
+                                 : std::array<Lit, 2>{p, confl.other()};
+      lits = binLits;
+    } else {
+      ClauseRefView c = arena_[confl.cref()];
+      if (c.learnt()) bumpLearnt(c);
+      lits = c.lits();
+    }
 
-    for (int k = (p == kUndefLit) ? 0 : 1; k < c.size(); ++k) {
-      const Lit q = c[k];
+    for (int k = (p == kUndefLit) ? 0 : 1;
+         k < static_cast<int>(lits.size()); ++k) {
+      const Lit q = lits[k];
       const Var v = q.var();
       if (!seen_[v] && level(v) > 0) {
         varBumpActivity(v);
@@ -284,24 +381,29 @@ void Solver::analyze(CRef confl, std::vector<Lit>& outLearnt,
       abstractLevel |= 1u << (level(outLearnt[i].var()) & 31);
     }
     for (std::size_t i = 1; i < outLearnt.size(); ++i) {
-      if (reason(outLearnt[i].var()) == kCRefUndef ||
+      if (reason(outLearnt[i].var()).isNone() ||
           !litRedundant(outLearnt[i], abstractLevel)) {
         outLearnt[j++] = outLearnt[i];
       }
     }
   } else if (opts_.ccmin_mode == 1) {
     for (std::size_t i = 1; i < outLearnt.size(); ++i) {
-      const CRef r = reason(outLearnt[i].var());
-      if (r == kCRefUndef) {
+      const Reason r = reason(outLearnt[i].var());
+      if (r.isNone()) {
         outLearnt[j++] = outLearnt[i];
         continue;
       }
-      ClauseRefView c = arena_[r];
       bool keep = false;
-      for (int k = 1; k < c.size(); ++k) {
-        if (!seen_[c[k].var()] && level(c[k].var()) > 0) {
-          keep = true;
-          break;
+      if (r.isBinary()) {
+        const Lit o = r.other();
+        keep = !seen_[o.var()] && level(o.var()) > 0;
+      } else {
+        ClauseRefView c = arena_[r.cref()];
+        for (int k = 1; k < c.size(); ++k) {
+          if (!seen_[c[k].var()] && level(c[k].var()) > 0) {
+            keep = true;
+            break;
+          }
         }
       }
       if (keep) outLearnt[j++] = outLearnt[i];
@@ -332,27 +434,40 @@ bool Solver::litRedundant(Lit p, std::uint32_t abstractLevels) {
   analyze_stack_.clear();
   analyze_stack_.push_back(p);
   const std::size_t topClear = analyze_toclear_.size();
+
+  // Visits one antecedent literal; false means `p` cannot be resolved
+  // away and all marks made during this call must be undone.
+  const auto visit = [&](Lit r) {
+    const Var v = r.var();
+    if (seen_[v] || level(v) == 0) return true;
+    if (!reason(v).isNone() &&
+        ((1u << (level(v) & 31)) & abstractLevels) != 0) {
+      seen_[v] = 1;
+      analyze_stack_.push_back(r);
+      analyze_toclear_.push_back(r);
+      return true;
+    }
+    return false;
+  };
+  const auto undo = [&]() {
+    for (std::size_t k = topClear; k < analyze_toclear_.size(); ++k) {
+      seen_[analyze_toclear_[k].var()] = 0;
+    }
+    analyze_toclear_.resize(topClear);
+    return false;
+  };
+
   while (!analyze_stack_.empty()) {
     const Lit q = analyze_stack_.back();
     analyze_stack_.pop_back();
-    assert(reason(q.var()) != kCRefUndef);
-    ClauseRefView c = arena_[reason(q.var())];
-    for (int k = 1; k < c.size(); ++k) {
-      const Lit r = c[k];
-      const Var v = r.var();
-      if (seen_[v] || level(v) == 0) continue;
-      if (reason(v) != kCRefUndef &&
-          ((1u << (level(v) & 31)) & abstractLevels) != 0) {
-        seen_[v] = 1;
-        analyze_stack_.push_back(r);
-        analyze_toclear_.push_back(r);
-      } else {
-        // Cannot be resolved away: undo the marks made in this call.
-        for (std::size_t k2 = topClear; k2 < analyze_toclear_.size(); ++k2) {
-          seen_[analyze_toclear_[k2].var()] = 0;
-        }
-        analyze_toclear_.resize(topClear);
-        return false;
+    const Reason r = reason(q.var());
+    assert(!r.isNone());
+    if (r.isBinary()) {
+      if (!visit(r.other())) return undo();
+    } else {
+      ClauseRefView c = arena_[r.cref()];
+      for (int k = 1; k < c.size(); ++k) {
+        if (!visit(c[k])) return undo();
       }
     }
   }
@@ -368,11 +483,15 @@ void Solver::analyzeFinal(Lit p, std::vector<Lit>& outConflict) {
   for (int i = trailSize() - 1; i >= trail_lim_[0]; --i) {
     const Var v = trail_[i].var();
     if (!seen_[v]) continue;
-    if (reason(v) == kCRefUndef) {
+    const Reason r = reason(v);
+    if (r.isNone()) {
       assert(level(v) > 0);
       outConflict.push_back(~trail_[i]);
+    } else if (r.isBinary()) {
+      const Lit o = r.other();
+      if (level(o.var()) > 0) seen_[o.var()] = 1;
     } else {
-      ClauseRefView c = arena_[reason(v)];
+      ClauseRefView c = arena_[r.cref()];
       for (int k = 1; k < c.size(); ++k) {
         if (level(c[k].var()) > 0) seen_[c[k].var()] = 1;
       }
@@ -393,37 +512,87 @@ std::uint32_t Solver::computeLbd(std::span<const Lit> lits) {
   return static_cast<std::uint32_t>(lbd_scratch_.size());
 }
 
+void Solver::recordLearnt(std::span<const Lit> learntClause) {
+  if (learntClause.size() == 1) {
+    uncheckedEnqueue(learntClause[0]);
+  } else if (learntClause.size() == 2) {
+    attachBinary(learntClause[0], learntClause[1], /*learnt=*/true);
+    uncheckedEnqueue(learntClause[0], Reason::binary(learntClause[1]));
+  } else {
+    const CRef ref = arena_.alloc(learntClause, /*learnt=*/true);
+    ClauseRefView c = arena_[ref];
+    const std::uint32_t lbd = computeLbd(learntClause);
+    c.setLbd(lbd);
+    const std::uint32_t tier =
+        lbd <= 2 ? kTierCore
+                 : (lbd <= static_cast<std::uint32_t>(opts_.tier2_lbd)
+                        ? kTier2
+                        : kTierLocal);
+    c.setTier(tier);
+    c.setUsed(2);
+    ++tierGauge(tier);
+    learnts_.push_back(ref);
+    attachClause(ref);
+    claBumpActivity(arena_[ref]);
+    uncheckedEnqueue(learntClause[0], Reason::clause(ref));
+  }
+  ++stats_.learnt_clauses;
+  stats_.learnt_literals += static_cast<std::int64_t>(learntClause.size());
+}
+
 void Solver::reduceDB() {
   if (opts_.lbd_reduce) {
-    // Glucose-style: delete high-LBD clauses first, keep "glue" clauses
-    // (LBD <= 2) unconditionally.
-    std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    // Tiered (Glucose/CaDiCaL-style): core clauses are permanent;
+    // tier2 clauses age via `used` and demote to local when cold;
+    // the worst half of local (high LBD, low activity) is deleted.
+    std::vector<CRef> keep;
+    std::vector<CRef> locals;
+    keep.reserve(learnts_.size());
+    for (CRef ref : learnts_) {
+      ClauseRefView c = arena_[ref];
+      const std::uint32_t t = c.tier();
+      if (t == kTierCore) {
+        keep.push_back(ref);
+      } else if (t == kTier2) {
+        if (c.used() > 0) {
+          c.setUsed(c.used() - 1);
+          keep.push_back(ref);
+        } else {
+          c.setTier(kTierLocal);
+          --stats_.tier_tier2;
+          ++stats_.tier_local;
+          ++stats_.demoted_clauses;
+          locals.push_back(ref);
+        }
+      } else {
+        locals.push_back(ref);
+      }
+    }
+    std::sort(locals.begin(), locals.end(), [&](CRef a, CRef b) {
       const ClauseRefView ca = arena_[a];
       const ClauseRefView cb = arena_[b];
       if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
       return ca.activity() < cb.activity();
     });
-    std::size_t j = 0;
-    for (std::size_t i = 0; i < learnts_.size(); ++i) {
-      ClauseRefView c = arena_[learnts_[i]];
-      if (c.size() > 2 && c.lbd() > 2 && !locked(learnts_[i]) &&
-          i < learnts_.size() / 2) {
-        removeClause(learnts_[i]);
+    const std::size_t target = locals.size() / 2;
+    std::size_t removed = 0;
+    for (CRef ref : locals) {
+      if (removed < target && !locked(ref)) {
+        removeClause(ref);
         ++stats_.removed_clauses;
+        ++removed;
       } else {
-        learnts_[j++] = learnts_[i];
+        keep.push_back(ref);
       }
     }
-    learnts_.resize(j);
+    learnts_ = std::move(keep);
     garbageCollectIfNeeded();
     return;
   }
-  // MiniSat-style: sort by (binary & activity), keep small active ones.
+  // MiniSat-style: sort by activity, keep the active half. (Binary
+  // learnt clauses live outside the arena and are always kept.)
   std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
-    const ClauseRefView ca = arena_[a];
-    const ClauseRefView cb = arena_[b];
-    if ((ca.size() > 2) != (cb.size() > 2)) return ca.size() > 2;
-    return ca.activity() < cb.activity();
+    return arena_[a].activity() < arena_[b].activity();
   });
   const double extraLim =
       cla_inc_ / std::max<std::size_t>(learnts_.size(), 1);
@@ -431,7 +600,7 @@ void Solver::reduceDB() {
   std::size_t j = 0;
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
     ClauseRefView c = arena_[learnts_[i]];
-    if (c.size() > 2 && !locked(learnts_[i]) &&
+    if (!locked(learnts_[i]) &&
         (i < learnts_.size() / 2 || c.activity() < extraLim)) {
       removeClause(learnts_[i]);
       ++stats_.removed_clauses;
@@ -463,9 +632,41 @@ void Solver::removeSatisfied(std::vector<CRef>& refs) {
   refs.resize(j);
 }
 
+void Solver::removeSatisfiedBinaries() {
+  assert(decisionLevel() == 0);
+  for (int idx = 0; idx < binwatches_.numLits(); ++idx) {
+    const Lit trigger = Lit::fromIndex(idx);
+    const Lit a = ~trigger;  // the clause literal watched through `idx`
+    const std::span<BinWatch> ws = binwatches_.list(trigger);
+    std::uint32_t j = 0;
+    for (const BinWatch& bw : ws) {
+      const bool sat =
+          value(a) == lbool::True || value(bw.implied) == lbool::True;
+      if (!sat) {
+        ws[j++] = bw;
+        continue;
+      }
+      // Each binary clause appears once per direction; trace and count
+      // it on the canonical (lower-index-first) visit only.
+      if (a.index() < bw.implied.index()) {
+        if (bw.learnt != 0) {
+          --num_bin_learnt_;
+        } else {
+          --num_bin_orig_;
+        }
+        if (opts_.tracer != nullptr) {
+          const std::array<Lit, 2> deleted{a, bw.implied};
+          traceDeleted(deleted);
+        }
+      }
+    }
+    binwatches_.shrinkList(trigger, j);
+  }
+}
+
 bool Solver::simplify() {
   assert(decisionLevel() == 0);
-  if (!ok_ || propagate() != kCRefUndef) {
+  if (!ok_ || !propagate().isNone()) {
     if (ok_) traceLemma({});  // fresh level-0 conflict: database refuted
     ok_ = false;
     return false;
@@ -474,6 +675,7 @@ bool Solver::simplify() {
 
   removeSatisfied(learnts_);
   removeSatisfied(clauses_);
+  removeSatisfiedBinaries();
   garbageCollectIfNeeded();
   rebuildOrderHeap();
   simp_db_assigns_ = trailSize();
@@ -493,33 +695,51 @@ void Solver::garbageCollectIfNeeded() {
   if (arena_.wasted() <
       static_cast<std::size_t>(
           static_cast<double>(arena_.size()) * opts_.garbage_frac)) {
+    // No arena GC: the flat watch pools still defragment on the same
+    // trigger points, independent of the arena's waste level.
+    watches_.compactIfWasteful();
+    binwatches_.compactIfWasteful();
     return;
   }
   ClauseArena to;
-  relocAll(to);
+  relocAll(to);  // ends by compacting the watch pools
   arena_.adopt(std::move(to));
   ++stats_.gc_runs;
 }
 
 void Solver::relocAll(ClauseArena& to) {
-  // Watchers.
-  for (std::vector<Watcher>& ws : watches_) {
-    for (Watcher& w : ws) arena_.reloc(w.cref, to);
+  // Watchers: drop lazily detached (deleted) clauses, relocate the rest.
+  for (int idx = 0; idx < watches_.numLits(); ++idx) {
+    const Lit p = Lit::fromIndex(idx);
+    const std::span<Watcher> ws = watches_.list(p);
+    std::uint32_t j = 0;
+    for (Watcher w : ws) {
+      if (arena_[w.cref].deleted()) continue;
+      arena_.reloc(w.cref, to);
+      ws[j++] = w;
+    }
+    watches_.shrinkList(p, j);
   }
-  // Reasons (only those still locked are live; others may be stale).
+  // Reasons (binary reasons live outside the arena; only clause reasons
+  // relocate — and only those still locked are live).
   for (Lit p : trail_) {
     const Var v = p.var();
-    CRef& r = vardata_[v].reason;
-    if (r == kCRefUndef) continue;
-    if (arena_[r].deleted() && !locked(r)) {
-      r = kCRefUndef;
+    Reason& r = vardata_[v].reason;
+    if (!r.isClause() || r.isNone()) continue;
+    CRef ref = r.cref();
+    if (arena_[ref].deleted() && !locked(ref)) {
+      r = Reason::none();
     } else {
-      arena_.reloc(r, to);
+      arena_.reloc(ref, to);
+      r = Reason::clause(ref);
     }
   }
   // Clause lists.
   for (CRef& ref : learnts_) arena_.reloc(ref, to);
   for (CRef& ref : clauses_) arena_.reloc(ref, to);
+  // GC is also the flat watch pools' compaction hook.
+  watches_.compact();
+  binwatches_.compactIfWasteful();
 }
 
 bool Solver::withinBudget() const {
@@ -531,11 +751,10 @@ bool Solver::withinBudget() const {
 lbool Solver::search(std::int64_t conflictsBeforeRestart) {
   assert(ok_);
   std::int64_t conflictC = 0;
-  std::vector<Lit> learntClause;
 
   while (true) {
-    const CRef confl = propagate();
-    if (confl != kCRefUndef) {
+    const Reason confl = propagate();
+    if (!confl.isNone()) {
       // Conflict.
       ++stats_.conflicts;
       ++conflictC;
@@ -545,23 +764,10 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
       }
 
       int backtrackLevel = 0;
-      analyze(confl, learntClause, backtrackLevel);
-      traceLemma(learntClause);
+      analyze(confl, learnt_scratch_, backtrackLevel);
+      traceLemma(learnt_scratch_);
       cancelUntil(backtrackLevel);
-
-      if (learntClause.size() == 1) {
-        uncheckedEnqueue(learntClause[0]);
-      } else {
-        const CRef ref = arena_.alloc(learntClause, /*learnt=*/true);
-        arena_[ref].setLbd(computeLbd(learntClause));
-        learnts_.push_back(ref);
-        attachClause(ref);
-        claBumpActivity(arena_[ref]);
-        uncheckedEnqueue(learntClause[0], ref);
-      }
-      ++stats_.learnt_clauses;
-      stats_.learnt_literals +=
-          static_cast<std::int64_t>(learntClause.size());
+      recordLearnt(learnt_scratch_);
 
       varDecayActivity();
       claDecayActivity();
@@ -576,7 +782,7 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
            conflictC >= conflictsBeforeRestart) ||
           !withinBudget()) {
         cancelUntil(0);
-        return withinBudget() ? lbool::Undef : lbool::Undef;
+        return lbool::Undef;
       }
 
       if (decisionLevel() == 0 && !simplify()) return lbool::False;
@@ -630,6 +836,14 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
     assumptions_.clear();
     return lbool::False;
   }
+
+  // Reserve the conflict-analysis scratch once per solve instead of
+  // growing it inside the hot loop.
+  const std::size_t scratch = static_cast<std::size_t>(numVars());
+  analyze_stack_.reserve(scratch);
+  analyze_toclear_.reserve(scratch);
+  learnt_scratch_.reserve(scratch);
+  lbd_scratch_.reserve(scratch);
 
   max_learnts_ = std::max(
       static_cast<double>(numClauses()) * opts_.learntsize_factor, 100.0);

@@ -3,12 +3,38 @@
 ///        core extraction — the substrate every MaxSAT engine in this
 ///        library is built on.
 ///
-/// The design follows MiniSat (Eén & Sörensson), the solver the DATE'08
-/// paper builds msu4 on: two-watched-literal propagation with blocker
-/// literals, first-UIP conflict analysis with recursive clause
-/// minimization, VSIDS variable activities with an indexed heap, phase
-/// saving, Luby restarts, activity-driven learnt-clause deletion, and
-/// arena storage with copying GC.
+/// The skeleton follows MiniSat (Eén & Sörensson) — two-watched-literal
+/// propagation, first-UIP conflict analysis with recursive clause
+/// minimization, VSIDS with an indexed heap, phase saving, Luby
+/// restarts, arena clause storage with copying GC — but the propagation
+/// core is rebuilt around cache-conscious storage:
+///
+///  * **Flat watch lists.** All long-clause watchers live in one
+///    contiguous pool (FlatOccLists in watches.h) with per-literal
+///    {offset, size, cap} headers instead of a vector-of-vectors: one
+///    fewer indirection per propagated literal, adjacent lists share
+///    cache lines, and GC relocation sweeps the pool linearly. Segment
+///    growth relocates within the pool; the abandoned slack is
+///    reclaimed by a compaction hooked into the arena-GC path.
+///
+///  * **Binary fast path.** Binary clauses never enter the clause
+///    arena. A clause (a ∨ b) is two BinWatch entries storing the
+///    implied literal inline, so binary propagation is a scan of an
+///    8-byte-entry array with zero clause dereferences. Reasons are a
+///    tagged 32-bit `Reason` (arena CRef or inline "other literal"),
+///    and `analyze`/`analyzeFinal`/`litRedundant` resolve binary
+///    reasons without touching the arena.
+///
+///  * **Tiered learnt database.** With Options::lbd_reduce, learnt
+///    clauses are partitioned Glucose/CaDiCaL-style by LBD into core
+///    (LBD <= 2, kept forever), tier2 (LBD <= tier2_lbd, aged by a
+///    `used` counter and demoted when cold) and local (aggressively
+///    halved each reduceDB). Clauses touched during conflict analysis
+///    refresh `used`, recompute their LBD and get promoted when it
+///    improves. Without lbd_reduce, the classic MiniSat
+///    activity-sorted deletion is used. Deletion detaches lazily:
+///    watchers of deleted clauses are dropped as propagation or GC
+///    encounters them.
 ///
 /// Core extraction: solving under assumptions `a1..ak` that turn out to
 /// be inconsistent yields, via final-conflict analysis, a subset of the
@@ -20,6 +46,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,6 +57,7 @@
 #include "sat/heap.h"
 #include "sat/proof_tracer.h"
 #include "sat/stats.h"
+#include "sat/watches.h"
 
 namespace msu {
 
@@ -48,7 +76,8 @@ class Solver {
     double learntsize_factor = 1.0 / 3.0;  ///< initial learnt DB size
     double learntsize_inc = 1.1;   ///< learnt DB growth per restart
     double garbage_frac = 0.20;    ///< GC when wasted/size exceeds this
-    bool lbd_reduce = false;       ///< Glucose-style LBD clause deletion
+    bool lbd_reduce = false;       ///< tiered (core/tier2/local) reduceDB
+    int tier2_lbd = 6;             ///< max LBD admitted into tier2
 
     /// Optional proof receiver (non-owning; must outlive the solver).
     /// Attach before adding clauses so the axiom trace is complete.
@@ -71,14 +100,15 @@ class Solver {
     return static_cast<int>(assigns_.size());
   }
 
-  /// Number of original (problem) clauses currently attached.
+  /// Number of original (problem) clauses currently attached, binary
+  /// clauses included.
   [[nodiscard]] int numClauses() const {
-    return static_cast<int>(clauses_.size());
+    return static_cast<int>(clauses_.size()) + num_bin_orig_;
   }
 
-  /// Number of learnt clauses currently attached.
+  /// Number of learnt clauses currently attached, binary ones included.
   [[nodiscard]] int numLearnts() const {
-    return static_cast<int>(learnts_.size());
+    return static_cast<int>(learnts_.size()) + num_bin_learnt_;
   }
 
   /// Adds a clause. Returns false iff the clause database is now known
@@ -149,19 +179,22 @@ class Solver {
   [[nodiscard]] int numFixedVars() const;
 
  private:
-  struct Watcher {
-    CRef cref = kCRefUndef;
-    Lit blocker = kUndefLit;
-  };
-
   struct VarData {
-    CRef reason = kCRefUndef;
+    Reason reason = Reason::none();
     int level = 0;
   };
 
-  // Construction helpers.
+  // Learnt-DB tiers (stored in the clause header's tier bits).
+  static constexpr std::uint32_t kTierCore = 0;
+  static constexpr std::uint32_t kTier2 = 1;
+  static constexpr std::uint32_t kTierLocal = 2;
+
+  // Construction helpers. There is no eager detach: removeClause()
+  // marks the clause deleted and its watchers are dropped lazily by
+  // propagate() and the GC sweep (swap-with-back removal lives in
+  // FlatOccLists::removeOne for callers that need it).
   void attachClause(CRef ref);
-  void detachClause(CRef ref);
+  void attachBinary(Lit a, Lit b, bool learnt);
   void removeClause(CRef ref);
 
   // Search machinery.
@@ -170,17 +203,19 @@ class Solver {
   }
   void newDecisionLevel() { trail_lim_.push_back(trailSize()); }
   [[nodiscard]] int trailSize() const { return static_cast<int>(trail_.size()); }
-  void uncheckedEnqueue(Lit p, CRef from = kCRefUndef);
-  [[nodiscard]] CRef propagate();
+  void uncheckedEnqueue(Lit p, Reason from = Reason::none());
+  [[nodiscard]] Reason propagate();
   void cancelUntil(int level);
   [[nodiscard]] Lit pickBranchLit();
-  void analyze(CRef confl, std::vector<Lit>& outLearnt, int& outBtLevel);
+  void analyze(Reason confl, std::vector<Lit>& outLearnt, int& outBtLevel);
   [[nodiscard]] bool litRedundant(Lit p, std::uint32_t abstractLevels);
   void analyzeFinal(Lit p, std::vector<Lit>& outConflict);
   [[nodiscard]] lbool search(std::int64_t conflictsBeforeRestart);
+  void recordLearnt(std::span<const Lit> learntClause);
   void reduceDB();
   [[nodiscard]] std::uint32_t computeLbd(std::span<const Lit> lits);
   void removeSatisfied(std::vector<CRef>& refs);
+  void removeSatisfiedBinaries();
   bool simplify();
   void rebuildOrderHeap();
   void garbageCollectIfNeeded();
@@ -188,12 +223,17 @@ class Solver {
 
   [[nodiscard]] bool locked(CRef ref) const;
   [[nodiscard]] int level(Var v) const { return vardata_[v].level; }
-  [[nodiscard]] CRef reason(Var v) const { return vardata_[v].reason; }
+  [[nodiscard]] Reason reason(Var v) const { return vardata_[v].reason; }
 
   void varBumpActivity(Var v);
   void varDecayActivity() { var_inc_ /= opts_.var_decay; }
   void claBumpActivity(ClauseRefView c);
   void claDecayActivity() { cla_inc_ /= opts_.clause_decay; }
+
+  /// Conflict-analysis touch of a learnt arena clause: activity bump
+  /// plus tiered-DB bookkeeping (used refresh, LBD update, promotion).
+  void bumpLearnt(ClauseRefView c);
+  [[nodiscard]] std::int64_t& tierGauge(std::uint32_t tier);
 
   [[nodiscard]] bool withinBudget() const;
 
@@ -210,13 +250,16 @@ class Solver {
 
   Options opts_;
 
-  // Clause storage and lists.
+  // Clause storage and lists (binary clauses live only in binwatches_).
   ClauseArena arena_;
   std::vector<CRef> clauses_;
   std::vector<CRef> learnts_;
+  int num_bin_orig_ = 0;
+  int num_bin_learnt_ = 0;
 
-  // Per-literal watcher lists (indexed by Lit::index()).
-  std::vector<std::vector<Watcher>> watches_;
+  // Watches: flat pools indexed by Lit::index() of the falsified watch.
+  FlatOccLists<Watcher> watches_;
+  FlatOccLists<BinWatch> binwatches_;
 
   // Per-variable state.
   std::vector<lbool> assigns_;
@@ -241,10 +284,12 @@ class Solver {
   std::vector<Lit> core_;
   std::vector<lbool> model_;
 
-  // Analyze scratch.
+  // Analyze scratch (reserved once per solve, reused across conflicts).
   std::vector<Lit> analyze_toclear_;
   std::vector<Lit> analyze_stack_;
   std::vector<int> lbd_scratch_;
+  std::vector<Lit> learnt_scratch_;
+  std::array<Lit, 2> bin_confl_{};  // literals of a binary conflict
 
   // State.
   bool ok_ = true;

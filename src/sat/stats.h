@@ -8,11 +8,37 @@
 
 namespace msu {
 
-/// Cumulative CDCL statistics (monotone over the solver's lifetime).
+/// The one authoritative list of SolverStats counters: forEachField
+/// and operator+= are generated from it, so a new counter only has to
+/// be added here plus its declaration below.
+#define MSU_SOLVER_STATS_FIELDS(X) \
+  X(solves)                        \
+  X(decisions)                     \
+  X(propagations)                  \
+  X(conflicts)                     \
+  X(restarts)                      \
+  X(learnt_clauses)                \
+  X(learnt_literals)               \
+  X(minimized_literals)            \
+  X(removed_clauses)               \
+  X(gc_runs)                       \
+  X(binary_propagations)           \
+  X(long_propagations)             \
+  X(blocker_hits)                  \
+  X(watch_bytes_visited)           \
+  X(promoted_clauses)              \
+  X(demoted_clauses)               \
+  X(tier_core)                     \
+  X(tier_tier2)                    \
+  X(tier_local)
+
+/// Cumulative CDCL statistics. All counters are monotone over the
+/// solver's lifetime except the `tier_*` occupancy gauges, which track
+/// the learnt database's current tier populations.
 struct SolverStats {
   std::int64_t solves = 0;        ///< calls to solve()
   std::int64_t decisions = 0;     ///< branching decisions
-  std::int64_t propagations = 0;  ///< literals propagated
+  std::int64_t propagations = 0;  ///< literals propagated (trail pops)
   std::int64_t conflicts = 0;     ///< conflicts analysed
   std::int64_t restarts = 0;      ///< restarts performed
   std::int64_t learnt_clauses = 0;    ///< clauses learnt (total)
@@ -20,6 +46,37 @@ struct SolverStats {
   std::int64_t minimized_literals = 0;  ///< literals removed by minimization
   std::int64_t removed_clauses = 0;   ///< learnt clauses deleted by reduceDB
   std::int64_t gc_runs = 0;           ///< arena garbage collections
+
+  // Propagation-core breakdown (flat watches + binary fast path).
+  std::int64_t binary_propagations = 0;  ///< implications via binary watches
+  std::int64_t long_propagations = 0;    ///< implications via long clauses
+  std::int64_t blocker_hits = 0;         ///< watcher skipped via blocker lit
+  std::int64_t watch_bytes_visited = 0;  ///< watcher-entry bytes scanned
+
+  // Tiered learnt-DB accounting (Options::lbd_reduce).
+  std::int64_t promoted_clauses = 0;  ///< local/tier2 -> better tier moves
+  std::int64_t demoted_clauses = 0;   ///< tier2 -> local aging demotions
+  std::int64_t tier_core = 0;         ///< gauge: learnt clauses in core
+  std::int64_t tier_tier2 = 0;        ///< gauge: learnt clauses in tier2
+  std::int64_t tier_local = 0;        ///< gauge: learnt clauses in local
+
+  /// Invokes `f(name, value)` for every counter, in declaration order.
+  /// Benches and tables build their field lists through this.
+  template <typename F>
+  void forEachField(F&& f) const {
+#define MSU_STATS_VISIT(name) f(#name, name);
+    MSU_SOLVER_STATS_FIELDS(MSU_STATS_VISIT)
+#undef MSU_STATS_VISIT
+  }
+
+  /// Field-wise sum (gauges included — summing them across solvers
+  /// yields the combined live-clause population).
+  SolverStats& operator+=(const SolverStats& o) {
+#define MSU_STATS_ADD(name) name += o.name;
+    MSU_SOLVER_STATS_FIELDS(MSU_STATS_ADD)
+#undef MSU_STATS_ADD
+    return *this;
+  }
 };
 
 }  // namespace msu

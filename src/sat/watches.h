@@ -1,0 +1,237 @@
+/// \file watches.h
+/// \brief Cache-conscious watch storage for the CDCL propagation core.
+///
+/// Two structures live here:
+///
+///  * FlatOccLists<T> — a flat, arena-backed occurrence-list container:
+///    every per-literal list lives in ONE contiguous pool with a
+///    per-literal {offset, size, cap} header. Compared to
+///    `std::vector<std::vector<T>>` this removes one pointer
+///    indirection per list, keeps hot lists adjacent in memory, and
+///    makes full-database sweeps (GC relocation) a linear scan. Lists
+///    grow by relocating their segment to the pool's end (amortized
+///    O(1) push); abandoned segments are reclaimed by compact(), which
+///    the solver hooks into its GC path.
+///
+///  * Reason — a tagged 32-bit propagation reason: either a clause
+///    reference into the arena, a binary reason carrying the *other*
+///    literal of a two-clause inline (so conflict analysis never
+///    touches the arena for binary implications), or "none".
+///
+/// The solver keeps binary clauses out of the clause arena entirely:
+/// a binary clause (a ∨ b) is stored as BinWatch{b} in the list of ~a
+/// and BinWatch{a} in the list of ~b. Binary propagation therefore
+/// reads one contiguous 8-byte-entry array and never dereferences a
+/// clause — the single hottest-path win in this design.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "sat/arena.h"
+
+namespace msu {
+
+/// Watcher for a long (size >= 3) clause: the clause plus a "blocker"
+/// literal whose satisfaction lets propagation skip the clause entirely.
+struct Watcher {
+  CRef cref = kCRefUndef;
+  Lit blocker = kUndefLit;
+};
+
+/// Watch entry for a binary clause: the implied literal is stored
+/// inline, so propagating it requires no clause lookup at all.
+struct BinWatch {
+  Lit implied = kUndefLit;
+  std::uint32_t learnt = 0;
+};
+
+/// Propagation reason: none, a clause in the arena, or the other
+/// literal of a binary clause (tag in the top bit).
+class Reason {
+ public:
+  constexpr Reason() = default;
+
+  [[nodiscard]] static constexpr Reason none() { return Reason(); }
+  [[nodiscard]] static constexpr Reason clause(CRef ref) {
+    assert(ref < kBinTag);
+    Reason r;
+    r.data_ = ref;
+    return r;
+  }
+  [[nodiscard]] static constexpr Reason binary(Lit other) {
+    Reason r;
+    r.data_ = kBinTag | static_cast<std::uint32_t>(other.index());
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool isNone() const { return data_ == kNoneBits; }
+  [[nodiscard]] constexpr bool isBinary() const {
+    return data_ != kNoneBits && (data_ & kBinTag) != 0;
+  }
+  [[nodiscard]] constexpr bool isClause() const {
+    return (data_ & kBinTag) == 0;
+  }
+
+  /// The arena reference of a clause reason.
+  [[nodiscard]] constexpr CRef cref() const {
+    assert(isClause());
+    return data_;
+  }
+
+  /// The other (false) literal of a binary reason.
+  [[nodiscard]] constexpr Lit other() const {
+    assert(isBinary());
+    return Lit::fromIndex(static_cast<std::int32_t>(data_ & ~kBinTag));
+  }
+
+  friend constexpr bool operator==(Reason, Reason) = default;
+
+ private:
+  static constexpr std::uint32_t kBinTag = 0x8000'0000u;
+  static constexpr std::uint32_t kNoneBits = 0xFFFF'FFFFu;  // == kCRefUndef
+
+  std::uint32_t data_ = kNoneBits;
+};
+
+/// Flat per-literal occurrence lists over one contiguous pool.
+///
+/// Pointer/span invalidation rules:
+///  * push() may grow the pool (and relocate the *target* list); any
+///    raw pointer into the pool must be refreshed via poolPtrAt()
+///    afterwards. Offsets of other lists are unchanged.
+///  * compact() invalidates all offsets; call it only from quiescent
+///    points (the solver's GC hook).
+template <typename T>
+class FlatOccLists {
+ public:
+  /// Registers one more literal slot (call twice per new variable).
+  void addLiteral() { heads_.emplace_back(); }
+
+  [[nodiscard]] int numLits() const { return static_cast<int>(heads_.size()); }
+
+  [[nodiscard]] std::uint32_t sizeOf(Lit p) const {
+    return heads_[idx(p)].size;
+  }
+  [[nodiscard]] std::uint32_t offsetOf(Lit p) const {
+    return heads_[idx(p)].offset;
+  }
+
+  /// Pool pointer for a previously fetched offset (refresh after push).
+  [[nodiscard]] T* poolPtrAt(std::uint32_t offset) {
+    return pool_.data() + offset;
+  }
+
+  [[nodiscard]] std::span<T> list(Lit p) {
+    const Head& h = heads_[idx(p)];
+    return {pool_.data() + h.offset, h.size};
+  }
+  [[nodiscard]] std::span<const T> list(Lit p) const {
+    const Head& h = heads_[idx(p)];
+    return {pool_.data() + h.offset, h.size};
+  }
+
+  void push(Lit p, const T& w) {
+    Head& h = heads_[idx(p)];
+    if (h.size == h.cap) grow(h);
+    pool_[h.offset + h.size++] = w;
+  }
+
+  /// Truncates `p`'s list to its first `newSize` entries.
+  void shrinkList(Lit p, std::uint32_t newSize) {
+    Head& h = heads_[idx(p)];
+    assert(newSize <= h.size);
+    h.size = newSize;
+  }
+
+  /// Removes the first entry matching `pred` by swapping with the back.
+  /// Returns true iff an entry was removed.
+  template <typename Pred>
+  bool removeOne(Lit p, Pred pred) {
+    Head& h = heads_[idx(p)];
+    T* base = pool_.data() + h.offset;
+    for (std::uint32_t i = 0; i < h.size; ++i) {
+      if (pred(base[i])) {
+        base[i] = base[h.size - 1];
+        --h.size;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Pool slots abandoned by segment growth since the last compact().
+  [[nodiscard]] std::size_t wasted() const { return wasted_; }
+
+  /// Total pool slots (live + slack + abandoned).
+  [[nodiscard]] std::size_t poolSize() const { return pool_.size(); }
+
+  /// Defragments the pool when abandoned segments dominate it.
+  void compactIfWasteful() {
+    if (wasted_ * 2 > pool_.size()) compact();
+  }
+
+  /// Rewrites the pool tightly (with a little per-list slack), fixing
+  /// up every header. Invalidates all previously fetched offsets.
+  void compact() {
+    std::vector<T> fresh;
+    std::size_t need = 0;
+    for (const Head& h : heads_) need += slackedCap(h.size);
+    fresh.resize(need);
+    std::uint32_t at = 0;
+    for (Head& h : heads_) {
+      const std::uint32_t cap = slackedCap(h.size);
+      for (std::uint32_t i = 0; i < h.size; ++i) {
+        fresh[at + i] = pool_[h.offset + i];
+      }
+      h.offset = at;
+      h.cap = cap;
+      at += cap;
+    }
+    pool_ = std::move(fresh);
+    wasted_ = 0;
+  }
+
+ private:
+  struct Head {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+  };
+
+  [[nodiscard]] static std::size_t idx(Lit p) {
+    return static_cast<std::size_t>(p.index());
+  }
+
+  /// Compacted capacity: size plus ~25% slack so the next few pushes
+  /// do not immediately re-fragment the pool.
+  [[nodiscard]] static std::uint32_t slackedCap(std::uint32_t size) {
+    return size == 0 ? 0 : size + (size >> 2) + 1;
+  }
+
+  /// Moves `h`'s segment to the end of the pool with doubled capacity.
+  /// Lists start tiny: most literals watch only a handful of clauses,
+  /// and a small first segment keeps the pool (and the bytes the
+  /// propagation loop must touch) dense.
+  void grow(Head& h) {
+    const std::uint32_t newCap = h.cap == 0 ? 2 : h.cap * 2;
+    const std::uint32_t newOff = static_cast<std::uint32_t>(pool_.size());
+    pool_.resize(pool_.size() + newCap);
+    for (std::uint32_t i = 0; i < h.size; ++i) {
+      pool_[newOff + i] = pool_[h.offset + i];
+    }
+    wasted_ += h.cap;
+    h.offset = newOff;
+    h.cap = newCap;
+  }
+
+  std::vector<T> pool_;
+  std::vector<Head> heads_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace msu
