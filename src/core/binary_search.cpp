@@ -1,8 +1,7 @@
 #include "core/binary_search.h"
 
 #include "core/incremental_atmost.h"
-#include "core/soft_tracker.h"
-#include "encodings/sink.h"
+#include "core/oracle_session.h"
 
 namespace msu {
 
@@ -20,15 +19,13 @@ MaxSatResult BinarySearchSolver::solve(const WcnfFormula& input) {
   const WcnfFormula& formula = *reduced;
   const Weight m = formula.numSoft();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SoftTracker tracker(sat, formula);
-  SolverSink sink(sat);
+  OracleSession session(opts_);
+  SoftTracker& tracker = session.trackSofts(formula);
   for (int i = 0; i < tracker.numSoft(); ++i) tracker.relax(i);
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
@@ -46,38 +43,38 @@ MaxSatResult BinarySearchSolver::solve(const WcnfFormula& input) {
     } else if (upper <= m) {
       result.model = std::move(bestModel);
     }
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   // Initial model establishes feasibility and the first upper bound.
   ++result.iterations;
-  ++result.satCalls;
   {
-    const lbool st = sat.solve();
+    const lbool st = session.solve();
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
     if (st == lbool::False) return finish(MaxSatStatus::UnsatisfiableHard);
-    upper = tracker.relaxedFalsifiedCost(formula, sat.model());
-    bestModel = tracker.originalModel(sat.model());
+    upper = tracker.relaxedFalsifiedCost(formula, session.sat().model());
+    bestModel = tracker.originalModel(session.sat().model());
   }
 
-  AssumableAtMost bound(sink, tracker.blockingLits(), opts_.encoding);
+  AssumableAtMost bound(session.sink(), tracker.blockingLits(),
+                        opts_.encoding);
 
   while (lower < upper) {
     ++result.iterations;
-    ++result.satCalls;
     const Weight mid = lower + (upper - lower) / 2;
     std::vector<Lit> assumps;
     if (std::optional<Lit> b = bound.boundLit(static_cast<int>(mid))) {
       assumps.push_back(*b);
     }
-    const lbool st = sat.solve(assumps);
+    const lbool st = session.solve(assumps);
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
     if (st == lbool::True) {
-      const Weight nu = tracker.relaxedFalsifiedCost(formula, sat.model());
+      const Weight nu =
+          tracker.relaxedFalsifiedCost(formula, session.sat().model());
       if (nu < upper) {
         upper = nu;
-        bestModel = tracker.originalModel(sat.model());
+        bestModel = tracker.originalModel(session.sat().model());
         if (opts_.onBounds) opts_.onBounds(lower, upper);
       }
     } else {
@@ -85,6 +82,9 @@ MaxSatResult BinarySearchSolver::solve(const WcnfFormula& input) {
       lower = mid + 1;
       if (opts_.onBounds) opts_.onBounds(lower, upper);
     }
+    // The interval shrank: bound structures the search can no longer
+    // revisit are physically retired (and their variables recycled).
+    bound.pruneOutside(static_cast<int>(lower), static_cast<int>(upper));
   }
   return finish(MaxSatStatus::Optimum);
 }

@@ -6,6 +6,7 @@
 
 #include "core/msu4.h"
 #include "core/oll.h"
+#include "core/oracle_session.h"
 #include "encodings/sink.h"
 
 namespace msu {
@@ -108,13 +109,10 @@ MaxSatResult BmoSolver::solve(const WcnfFormula& formula) {
     static_cast<void>(check);
   } else {
     // No softs: any model of the hards is optimal (cost 0).
-    Solver sat(opts_.sat);
-    sat.setBudget(opts_.budget);
-    for (Var v = 0; v < formula.numVars(); ++v) {
-      static_cast<void>(sat.newVar());
-    }
-    for (const Clause& c : formula.hard()) static_cast<void>(sat.addClause(c));
-    const lbool st = sat.okay() ? sat.solve() : lbool::False;
+    OracleSession session(opts_);
+    session.addHards(formula);
+    const lbool st = session.okay() ? session.solve() : lbool::False;
+    session.exportStats(result);
     if (st == lbool::False) {
       result.status = MaxSatStatus::UnsatisfiableHard;
       return result;
@@ -126,7 +124,7 @@ MaxSatResult BmoSolver::solve(const WcnfFormula& formula) {
     Assignment model(static_cast<std::size_t>(formula.numVars()));
     for (Var v = 0; v < formula.numVars(); ++v) {
       model[static_cast<std::size_t>(v)] =
-          sat.model()[static_cast<std::size_t>(v)];
+          session.sat().model()[static_cast<std::size_t>(v)];
     }
     result.model = std::move(model);
   }

@@ -1,38 +1,25 @@
 #include "core/incremental_atmost.h"
 
 #include <algorithm>
-
 #include <cassert>
 
 namespace msu {
 
-void IncrementalAtMost::assertAtMost(ClauseSink& sink,
-                                     const std::vector<Lit>& lits, int k) {
-  ++num_asserted_;
-  const int n = static_cast<int>(lits.size());
-  if (k >= n) return;
-  if (!reuse_ || (enc_ != CardEncoding::Sorter &&
-                  enc_ != CardEncoding::Totalizer)) {
-    encodeAtMost(sink, lits, k, enc_);
-    return;
-  }
-  assert(lits.size() >= covered_.size());
-  if (enc_ == CardEncoding::Sorter) {
-    if (lits != covered_) {
-      sorter_outputs_ = buildSortingNetwork(sink, lits);
-      covered_ = lits;
-    }
-    if (k < 0) {
-      sink.addClause(std::initializer_list<Lit>{});
-      return;
-    }
-    sink.addClause({~sorter_outputs_[static_cast<std::size_t>(k)]});
-    return;
-  }
-  // Totalizer: extend with the new suffix, then assert the unit. Suffix
-  // extension requires `lits` to extend `covered_` as a prefix (callers
-  // provide relaxation-ordered literals); fall back to a fresh tree if
-  // the prefix property ever fails.
+void IncrementalAtMost::retireCurrent(ClauseSink& sink) {
+  if (scope_ == kUndefLit) return;
+  sink.retireScope(scope_);
+  scope_ = kUndefLit;
+  scope_bound_ = -1;
+  scope_enforced_ = true;
+  covered_.clear();
+  outputs_.clear();
+}
+
+void IncrementalAtMost::coverWithTotalizer(ClauseSink& sink,
+                                           const std::vector<Lit>& lits) {
+  // Suffix extension requires `lits` to extend `covered_` as a prefix
+  // (callers provide relaxation-ordered literals); fall back to a fresh
+  // tree if the prefix property ever fails.
   const bool prefixOk =
       lits.size() >= covered_.size() &&
       std::equal(covered_.begin(), covered_.end(), lits.begin());
@@ -45,23 +32,119 @@ void IncrementalAtMost::assertAtMost(ClauseSink& sink,
     totalizer_->addInputs(suffix);
     covered_ = lits;
   }
-  if (k < 0) {
-    sink.addClause(std::initializer_list<Lit>{});
+}
+
+void IncrementalAtMost::assertAtMost(ClauseSink& sink,
+                                     const std::vector<Lit>& lits, int k) {
+  ++num_asserted_;
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;
+  assert(lits.size() >= covered_.size());
+
+  if (reuse_ && enc_ == CardEncoding::Totalizer) {
+    // Permanent incremental structure, permanent (monotone) bound units.
+    coverWithTotalizer(sink, lits);
+    if (k < 0) {
+      sink.addClause(std::initializer_list<Lit>{});
+      return;
+    }
+    sink.addClause({~totalizer_->outputs()[static_cast<std::size_t>(k)]});
     return;
   }
-  sink.addClause({~totalizer_->outputs()[static_cast<std::size_t>(k)]});
+
+  if (reuse_ && enc_ == CardEncoding::Sorter) {
+    // One network per literal set, wrapped in a scope together with its
+    // bound units; growth retires the stale network wholesale.
+    if (scope_ == kUndefLit || lits != covered_) {
+      retireCurrent(sink);
+      scope_ = sink.beginScope();
+      outputs_ = buildSortingNetwork(sink, lits);
+      covered_ = lits;
+    } else {
+      sink.reopenScope(scope_);
+    }
+    if (k < 0) {
+      sink.addClause(std::initializer_list<Lit>{});
+    } else {
+      sink.addClause({~outputs_[static_cast<std::size_t>(k)]});
+    }
+    sink.endScope(scope_);
+    return;
+  }
+
+  // No reuse (or a non-incremental encoding): each call re-encodes into
+  // a fresh scope, physically retiring the predecessor instead of
+  // leaving it behind as dead hard clauses.
+  retireCurrent(sink);
+  scope_ = sink.beginScope();
+  encodeAtMost(sink, lits, k, enc_);
+  sink.endScope(scope_);
+  covered_ = lits;
+  scope_bound_ = k;
+}
+
+std::optional<Lit> IncrementalAtMost::assumeAtMost(
+    ClauseSink& sink, const std::vector<Lit>& lits, int k) {
+  ++num_asserted_;
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) {
+    // Trivial bound: nothing to assume; park the live scope.
+    if (scope_ != kUndefLit && scope_enforced_) {
+      sink.setScopeEnforced(scope_, false);
+      scope_enforced_ = false;
+    }
+    return std::nullopt;
+  }
+  assert(k >= 0);
+
+  if (enc_ == CardEncoding::Totalizer) {
+    coverWithTotalizer(sink, lits);
+    return ~totalizer_->outputs()[static_cast<std::size_t>(k)];
+  }
+
+  if (enc_ == CardEncoding::Sorter) {
+    if (scope_ == kUndefLit || lits != covered_) {
+      retireCurrent(sink);
+      scope_ = sink.beginScope();
+      outputs_ = buildSortingNetwork(sink, lits);
+      covered_ = lits;
+      sink.endScope(scope_);
+    }
+    if (!scope_enforced_) {
+      sink.setScopeEnforced(scope_, true);
+      scope_enforced_ = true;
+    }
+    return ~outputs_[static_cast<std::size_t>(k)];
+  }
+
+  // Bound-specific encodings (Bdd/Sequential/...): one scope per
+  // (set, bound); any change retires the predecessor. Enforcement rides
+  // on the auto-assumed activator, so there is nothing extra to assume.
+  if (scope_ == kUndefLit || lits != covered_ || k != scope_bound_) {
+    retireCurrent(sink);
+    scope_ = sink.beginScope();
+    encodeAtMost(sink, lits, k, enc_);
+    sink.endScope(scope_);
+    covered_ = lits;
+    scope_bound_ = k;
+    scope_enforced_ = true;
+  } else if (!scope_enforced_) {
+    sink.setScopeEnforced(scope_, true);
+    scope_enforced_ = true;
+  }
+  return std::nullopt;
 }
 
 AssumableAtMost::AssumableAtMost(ClauseSink& sink, std::vector<Lit> lits,
                                  CardEncoding enc)
     : sink_(&sink), lits_(std::move(lits)), enc_(enc) {
   if (enc_ == CardEncoding::Sorter) {
-    sorter_outputs_ = buildSortingNetwork(sink, lits_);
+    outputs_ = buildSortingNetwork(sink, lits_);
   } else if (enc_ == CardEncoding::Totalizer) {
     Totalizer tot(sink, lits_);
-    sorter_outputs_ = tot.outputs();
+    outputs_ = tot.outputs();
   }
-  cache_.resize(lits_.size() + 1);
+  scopes_.assign(lits_.size() + 1, kUndefLit);
 }
 
 std::optional<Lit> AssumableAtMost::boundLit(int k) {
@@ -69,19 +152,36 @@ std::optional<Lit> AssumableAtMost::boundLit(int k) {
   if (k >= n) return std::nullopt;
   assert(k >= 0);
   if (enc_ == CardEncoding::Sorter || enc_ == CardEncoding::Totalizer) {
-    return ~sorter_outputs_[static_cast<std::size_t>(k)];
+    return ~outputs_[static_cast<std::size_t>(k)];
   }
-  if (std::optional<Lit>& c = cache_[static_cast<std::size_t>(k)]) return *c;
-  Lit act;
-  if (enc_ == CardEncoding::Bdd) {
-    // The BDD root is a biconditional for the constraint: assume it.
-    act = buildAtMostBdd(*sink_, lits_, k);
-  } else {
-    act = posLit(sink_->newVar());
-    encodeAtMost(*sink_, lits_, k, enc_, act);
+  Lit& act = scopes_[static_cast<std::size_t>(k)];
+  if (act == kUndefLit) {
+    // Build the bound in its own *disabled* scope: the activator is the
+    // assumption handle (assuming it overrides the automatic negative
+    // assumption), and retirement is one retireScope away.
+    act = sink_->beginScope();
+    if (enc_ == CardEncoding::Bdd) {
+      // The BDD root is a biconditional for the constraint; asserting
+      // it under the scope guard yields act -> constraint.
+      const Lit root = buildAtMostBdd(*sink_, lits_, k);
+      sink_->addClause({root});
+    } else {
+      encodeAtMost(*sink_, lits_, k, enc_);
+    }
+    sink_->endScope(act);
+    sink_->setScopeEnforced(act, false);
   }
-  cache_[static_cast<std::size_t>(k)] = act;
   return act;
+}
+
+void AssumableAtMost::pruneOutside(int lo, int hi) {
+  for (int k = 0; k < static_cast<int>(scopes_.size()); ++k) {
+    if (k >= lo && k < hi) continue;
+    Lit& act = scopes_[static_cast<std::size_t>(k)];
+    if (act == kUndefLit) continue;
+    sink_->retireScope(act);
+    act = kUndefLit;
+  }
 }
 
 }  // namespace msu

@@ -1,7 +1,9 @@
 /// \file incremental_atmost.h
 /// \brief Helpers that manage cardinality constraints across the
-///        iterations of a core-guided search: re-encoding when necessary,
-///        reusing sorting networks / extending totalizers when possible.
+///        iterations of a core-guided search: extending totalizers and
+///        reusing sorting networks when possible, and re-encoding into
+///        a fresh sink scope (retiring the predecessor physically)
+///        when not.
 
 #pragma once
 
@@ -14,42 +16,65 @@
 
 namespace msu {
 
-/// Asserts a sequence of constraints `sum(lits) <= k` as *hard* clauses,
-/// where across calls the literal set only grows (append-only) and the
-/// bounds only tighten for a fixed set. This is exactly msu4's usage
-/// pattern (Algorithm 1, line 30).
+/// Manages a sequence of constraints `sum(lits) <= k` where the literal
+/// set only grows across calls. Two enforcement styles:
 ///
-/// Reuse policy (when enabled):
-///  * Sorter: if the literal set is unchanged, reuse the existing
-///    network and add only the unit `~out[k]`; rebuild on growth.
-///  * Totalizer: extend the tree with the new literals, then add the
-///    unit — no re-encoding ever.
-///  * Bdd / Sequential / Pairwise: re-encode each call.
+///  * assertAtMost — hard, monotonically tightening bounds (msu4's
+///    Algorithm 1 line 30, linear search). Totalizers extend in place
+///    with permanent bound units; everything else lives in an encoding
+///    scope whose activator the solver auto-assumes, and a re-encode
+///    retires the predecessor scope (physical deletion + variable
+///    recycling) instead of leaking it.
+///  * assumeAtMost — assumption-enforced bounds that may also loosen
+///    (msu3's lambda search). Returns the extra literal to assume this
+///    solve, if any; scoped structures are enforced through their
+///    activator.
 class IncrementalAtMost {
  public:
   IncrementalAtMost(CardEncoding enc, bool reuse)
       : enc_(enc), reuse_(reuse) {}
 
-  /// Adds clauses enforcing `sum(lits) <= k`. `lits` must contain every
-  /// literal passed in earlier calls (append-only growth).
+  /// Adds clauses enforcing `sum(lits) <= k` from now on. `lits` must
+  /// contain every literal passed in earlier calls (append-only
+  /// growth), and for scoped encodings the bound must not loosen.
   void assertAtMost(ClauseSink& sink, const std::vector<Lit>& lits, int k);
 
-  /// Number of constraints asserted so far.
+  /// Makes `sum(lits) <= k` hold for the next solve(s): re-encodes (and
+  /// retires the stale structure) as needed and returns the literal to
+  /// assume, when the encoding needs one beyond its auto-assumed
+  /// activator. A trivial bound (k >= |lits|) disables the structure.
+  [[nodiscard]] std::optional<Lit> assumeAtMost(ClauseSink& sink,
+                                                const std::vector<Lit>& lits,
+                                                int k);
+
+  /// Number of constraints asserted/assumed so far.
   [[nodiscard]] int numAsserted() const { return num_asserted_; }
 
  private:
+  /// Retires the live scope (if any) and forgets its structure.
+  void retireCurrent(ClauseSink& sink);
+
+  /// Extends (or rebuilds) the unscoped totalizer to cover `lits`.
+  void coverWithTotalizer(ClauseSink& sink, const std::vector<Lit>& lits);
+
   CardEncoding enc_;
   bool reuse_;
   int num_asserted_ = 0;
-  std::vector<Lit> covered_;           // literal set of the cached structure
-  std::vector<Lit> sorter_outputs_;    // valid when enc_ == Sorter
-  std::optional<Totalizer> totalizer_; // valid when enc_ == Totalizer
+  std::vector<Lit> covered_;            // literal set of the cached structure
+  std::vector<Lit> outputs_;            // sorter outputs (scoped)
+  std::optional<Totalizer> totalizer_;  // unscoped incremental totalizer
+  Lit scope_ = kUndefLit;               // live scope activator
+  int scope_bound_ = -1;      // bound baked into a per-(set,k) scope
+  bool scope_enforced_ = true;
 };
 
 /// Produces *assumption* literals enforcing `sum(lits) <= k` when
 /// assumed — the machinery behind the binary-search engine, which must
 /// both tighten and loosen bounds. The literal set is fixed at
-/// construction.
+/// construction. Output-based encodings (Sorter/Totalizer) share one
+/// permanent structure; the others build one disabled scope per bound,
+/// whose activator is the assumption handle, and `pruneOutside` retires
+/// scopes whose bound the search can no longer revisit.
 class AssumableAtMost {
  public:
   AssumableAtMost(ClauseSink& sink, std::vector<Lit> lits, CardEncoding enc);
@@ -58,12 +83,17 @@ class AssumableAtMost {
   /// bound is trivial (k >= |lits|).
   [[nodiscard]] std::optional<Lit> boundLit(int k);
 
+  /// Physically retires cached per-bound scopes with k outside
+  /// [lo, hi) — sound once the search has shrunk its interval to
+  /// [lo, hi). No-op for the shared output-based encodings.
+  void pruneOutside(int lo, int hi);
+
  private:
   ClauseSink* sink_;
   std::vector<Lit> lits_;
   CardEncoding enc_;
-  std::vector<Lit> sorter_outputs_;      // Sorter/Totalizer: shared outputs
-  std::vector<std::optional<Lit>> cache_;  // Bdd/Sequential: per-k activator
+  std::vector<Lit> outputs_;  // Sorter/Totalizer: shared outputs
+  std::vector<Lit> scopes_;   // per-k scope activator (kUndefLit none)
 };
 
 }  // namespace msu

@@ -1,8 +1,7 @@
 #include "core/linear_search.h"
 
 #include "core/incremental_atmost.h"
-#include "core/soft_tracker.h"
-#include "encodings/sink.h"
+#include "core/oracle_session.h"
 
 namespace msu {
 
@@ -20,18 +19,16 @@ MaxSatResult LinearSearchSolver::solve(const WcnfFormula& input) {
   const WcnfFormula& formula = *reduced;
   const Weight m = formula.numSoft();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SoftTracker tracker(sat, formula);
-  SolverSink sink(sat);
+  OracleSession session(opts_);
+  SoftTracker& tracker = session.trackSofts(formula);
   IncrementalAtMost card(opts_.encoding, opts_.reuseEncodings);
 
   // The PBO formulation: every clause gets its blocking variable at once.
   for (int i = 0; i < tracker.numSoft(); ++i) tracker.relax(i);
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
@@ -48,15 +45,14 @@ MaxSatResult LinearSearchSolver::solve(const WcnfFormula& input) {
     } else if (upper <= m) {
       result.model = std::move(bestModel);
     }
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   const std::vector<Lit> blocking = tracker.blockingLits();
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    const lbool st = sat.solve();
+    const lbool st = session.solve();
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
 
     if (st == lbool::False) {
@@ -64,16 +60,19 @@ MaxSatResult LinearSearchSolver::solve(const WcnfFormula& input) {
       return finish(MaxSatStatus::Optimum);
     }
 
-    const Weight nu = opts_.tightenWithModelCost
-                          ? tracker.relaxedFalsifiedCost(formula, sat.model())
-                          : tracker.blockingAssignedTrue(sat.model());
+    const Weight nu =
+        opts_.tightenWithModelCost
+            ? tracker.relaxedFalsifiedCost(formula, session.sat().model())
+            : tracker.blockingAssignedTrue(session.sat().model());
     if (nu < upper) {
       upper = nu;
-      bestModel = tracker.originalModel(sat.model());
+      bestModel = tracker.originalModel(session.sat().model());
       if (opts_.onBounds) opts_.onBounds(0, upper);
     }
     if (upper == 0) return finish(MaxSatStatus::Optimum);
-    card.assertAtMost(sink, blocking, static_cast<int>(upper) - 1);
+    // Each tightening retires the previous bound structure (unless the
+    // encoding extends in place).
+    card.assertAtMost(session.sink(), blocking, static_cast<int>(upper) - 1);
   }
 }
 

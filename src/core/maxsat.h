@@ -3,6 +3,20 @@
 ///        library: the core-guided family (msu1/msu3/msu4), the
 ///        SAT-based linear/binary searches, the PBO baseline and the
 ///        branch-and-bound baseline.
+///
+/// ## The oracle-session model
+///
+/// Every SAT-based engine runs on one OracleSession
+/// (core/oracle_session.h): a single incremental CDCL oracle whose
+/// clause database persists — learnt clauses included — across the
+/// iterations of the search, mirroring the paper's reuse of learnt
+/// information between iterations. Cardinality/PB structures the
+/// search outgrows are not abandoned inside that database: they live
+/// in *encoding scopes* (see sink.h) and are physically retired — the
+/// clauses deleted, their auxiliary variables recycled — the moment a
+/// re-encode supersedes them. `MaxSatResult::satStats` surfaces the
+/// lifecycle counters (retired scopes/clauses, reclaimed bytes,
+/// recycled variables) alongside the propagation-core counters.
 
 #pragma once
 
@@ -73,7 +87,10 @@ struct MaxSatOptions {
   bool msu4AtLeastOne = true;
 
   /// Reuse sorting networks / extend totalizers across iterations when
-  /// the blocking-variable set allows it, instead of re-encoding.
+  /// the blocking-variable set allows it, instead of re-encoding. When
+  /// a re-encode is unavoidable (or reuse is off), the superseded
+  /// structure's scope is retired: its clauses are physically deleted
+  /// and its auxiliary variables recycled.
   bool reuseEncodings = true;
 
   /// Rounds of core trimming (re-solve under the core and adopt the

@@ -2,8 +2,8 @@
 
 #include <unordered_map>
 
+#include "core/oracle_session.h"
 #include "encodings/cardinality.h"
-#include "encodings/sink.h"
 
 namespace msu {
 
@@ -19,26 +19,26 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
   const Weight m = formula.numSoft();
   const int numOriginalVars = formula.numVars();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SolverSink sink(sat);
-  while (sat.numVars() < numOriginalVars) static_cast<void>(sat.newVar());
-  for (const Clause& h : formula.hard()) static_cast<void>(sat.addClause(h));
+  OracleSession session(opts_);
+  session.addHards(formula);
 
   // Per soft clause: its current literal set (original literals plus the
-  // blocking variables accumulated over relaxations) and its current
-  // selector. Retiring a version = unit-asserting its selector.
+  // blocking variables accumulated over relaxations) and the scope
+  // holding its current version. The scope activator doubles as the
+  // enforcement assumption (handled by the session's oracle), and
+  // retiring a version physically deletes its clause and recycles the
+  // selector variable — the modern form of Fu–Malik's unit-asserted
+  // selectors.
   std::vector<Clause> lits(static_cast<std::size_t>(m));
-  std::vector<Lit> selector(static_cast<std::size_t>(m));
-  std::unordered_map<Var, int> selectorToSoft;
+  std::vector<Lit> version(static_cast<std::size_t>(m));
+  std::unordered_map<Var, int> activatorToSoft;
 
   auto installVersion = [&](int i) {
-    const Var a = sat.newVar();
-    selector[static_cast<std::size_t>(i)] = posLit(a);
-    selectorToSoft[a] = i;
-    Clause c = lits[static_cast<std::size_t>(i)];
-    c.push_back(posLit(a));
-    static_cast<void>(sat.addClause(c));
+    const Lit act = session.beginScope();
+    session.sink().addClause(lits[static_cast<std::size_t>(i)]);
+    session.endScope(act);
+    version[static_cast<std::size_t>(i)] = act;
+    activatorToSoft[act.var()] = i;
   };
 
   for (int i = 0; i < m; ++i) {
@@ -47,9 +47,9 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
     installVersion(i);
   }
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
@@ -61,26 +61,21 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
     result.upperBound = (st == MaxSatStatus::Optimum) ? cost : m;
     result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
     result.model = std::move(model);
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    std::vector<Lit> assumps;
-    assumps.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      assumps.push_back(~selector[static_cast<std::size_t>(i)]);
-    }
-
-    const lbool st = sat.solve(assumps);
+    // Enforcement is automatic: every live version scope's activator is
+    // assumed by the solver itself.
+    const lbool st = session.solve();
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, {});
 
     if (st == lbool::True) {
       Assignment model(static_cast<std::size_t>(numOriginalVars));
       for (Var v = 0; v < numOriginalVars; ++v) {
-        const lbool val = sat.model()[static_cast<std::size_t>(v)];
+        const lbool val = session.sat().model()[static_cast<std::size_t>(v)];
         model[static_cast<std::size_t>(v)] =
             (val == lbool::Undef) ? lbool::False : val;
       }
@@ -88,10 +83,11 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
     }
 
     ++result.coresFound;
-    // Map the failed assumptions back to soft indices.
+    // Map the failed activator assumptions back to soft indices.
     std::vector<int> coreSoft;
-    for (Lit p : sat.core()) {
-      if (auto it = selectorToSoft.find(p.var()); it != selectorToSoft.end()) {
+    for (Lit p : session.sat().core()) {
+      if (auto it = activatorToSoft.find(p.var());
+          it != activatorToSoft.end()) {
         coreSoft.push_back(it->second);
       }
     }
@@ -100,19 +96,23 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
     }
 
     // Fu-Malik relaxation: fresh blocking variable per core clause,
-    // exactly one of them true.
+    // exactly one of them true. The old versions are retired in one
+    // batch sweep — clauses deleted, selector variables recycled.
+    std::vector<Lit> retired;
     std::vector<Lit> freshBlocking;
+    retired.reserve(coreSoft.size());
     freshBlocking.reserve(coreSoft.size());
     for (int i : coreSoft) {
-      const Lit oldSel = selector[static_cast<std::size_t>(i)];
-      selectorToSoft.erase(oldSel.var());
-      static_cast<void>(sat.addClause({oldSel}));  // retire the old version
-      const Lit b = posLit(sat.newVar());
+      const Lit oldVersion = version[static_cast<std::size_t>(i)];
+      activatorToSoft.erase(oldVersion.var());
+      retired.push_back(oldVersion);
+      const Lit b = posLit(session.sat().newVar());
       lits[static_cast<std::size_t>(i)].push_back(b);
       freshBlocking.push_back(b);
-      installVersion(i);
     }
-    encodeExactlyOne(sink, freshBlocking);
+    session.retireAll(retired);
+    for (int i : coreSoft) installVersion(i);
+    encodeExactlyOne(session.sink(), freshBlocking);
     cost += 1;
     if (opts_.onBounds) opts_.onBounds(cost, m + 1);
   }

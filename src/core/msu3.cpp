@@ -1,10 +1,7 @@
 #include "core/msu3.h"
 
-#include <algorithm>
-
-#include "core/soft_tracker.h"
-#include "encodings/sink.h"
-#include "encodings/totalizer.h"
+#include "core/incremental_atmost.h"
+#include "core/oracle_session.h"
 
 namespace msu {
 
@@ -21,71 +18,21 @@ MaxSatResult Msu3Solver::solve(const WcnfFormula& input) {
   const WcnfFormula& formula = *reduced;
   const Weight m = formula.numSoft();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SoftTracker tracker(sat, formula);
-  SolverSink sink(sat);
+  OracleSession session(opts_);
+  SoftTracker& tracker = session.trackSofts(formula);
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
   Weight lambda = 0;  // proven: cost >= lambda
 
-  // Incremental bound structure over the blocking variables. Totalizer
-  // extends in place; other encodings are re-emitted per (set, bound)
-  // change, with stale constraints retired through their activator.
-  std::optional<Totalizer> totalizer;
-  std::vector<Lit> covered;       // blocking set covered by the structure
-  std::vector<Lit> sorterOut;     // Sorter outputs over `covered`
-  std::optional<Lit> activator;   // Bdd/Sequential guarded instance
-  Weight activeBound = -1;
-
-  auto boundAssumption = [&]() -> std::optional<Lit> {
-    const std::vector<Lit> blocking = tracker.blockingLits();
-    if (lambda >= static_cast<Weight>(blocking.size())) return std::nullopt;
-    const int k = static_cast<int>(lambda);
-    switch (opts_.encoding) {
-      case CardEncoding::Totalizer: {
-        const bool prefixOk =
-            blocking.size() >= covered.size() &&
-            std::equal(covered.begin(), covered.end(), blocking.begin());
-        if (!totalizer || !prefixOk) {
-          totalizer.emplace(sink, blocking);
-          covered = blocking;
-        } else if (blocking.size() > covered.size()) {
-          totalizer->addInputs(std::span<const Lit>(
-              blocking.data() + covered.size(),
-              blocking.size() - covered.size()));
-          covered = blocking;
-        }
-        return ~totalizer->outputs()[static_cast<std::size_t>(k)];
-      }
-      case CardEncoding::Sorter: {
-        if (blocking != covered) {
-          sorterOut = buildSortingNetwork(sink, blocking);
-          covered = blocking;
-        }
-        return ~sorterOut[static_cast<std::size_t>(k)];
-      }
-      default: {
-        if (blocking != covered || activeBound != lambda) {
-          if (activator) {
-            // Retire the previous guarded instance permanently.
-            sink.addClause({~*activator});
-          }
-          const Lit act = posLit(sink.newVar());
-          encodeAtMost(sink, blocking, k, opts_.encoding, act);
-          activator = act;
-          covered = blocking;
-          activeBound = lambda;
-        }
-        return *activator;
-      }
-    }
-  };
+  // Incremental bound structure over the blocking variables: totalizers
+  // extend in place, everything else re-encodes into a fresh scope and
+  // retires its predecessor through the session's oracle.
+  IncrementalAtMost card(opts_.encoding, opts_.reuseEncodings);
 
   auto finish = [&](MaxSatStatus st, Weight cost, Assignment model) {
     result.status = st;
@@ -93,29 +40,32 @@ MaxSatResult Msu3Solver::solve(const WcnfFormula& input) {
     result.upperBound = (st == MaxSatStatus::Optimum) ? cost : m;
     result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
     result.model = std::move(model);
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    std::vector<Lit> assumps = tracker.assumptions();
-    if (std::optional<Lit> b = boundAssumption()) assumps.push_back(*b);
+    std::vector<Lit> extra;
+    if (const std::optional<Lit> b = card.assumeAtMost(
+            session.sink(), tracker.blockingLits(), static_cast<int>(lambda))) {
+      extra.push_back(*b);
+    }
 
-    const lbool st = sat.solve(assumps);
+    const lbool st = session.solve(extra);
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, 0, {});
 
     if (st == lbool::True) {
       // Model cost can only be lambda: >= lambda is proven, <= lambda is
       // enforced by the bound assumption.
-      const Weight cost = tracker.relaxedFalsifiedCost(formula, sat.model());
+      const Weight cost =
+          tracker.relaxedFalsifiedCost(formula, session.sat().model());
       return finish(MaxSatStatus::Optimum, cost,
-                    tracker.originalModel(sat.model()));
+                    tracker.originalModel(session.sat().model()));
     }
 
     ++result.coresFound;
-    const std::vector<Lit>& core = sat.core();
+    const std::vector<Lit>& core = session.sat().core();
     if (core.empty()) {
       return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
     }

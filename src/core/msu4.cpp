@@ -4,8 +4,7 @@
 
 #include "core/core_trim.h"
 #include "core/incremental_atmost.h"
-#include "core/soft_tracker.h"
-#include "encodings/sink.h"
+#include "core/oracle_session.h"
 
 namespace msu {
 
@@ -39,15 +38,13 @@ MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
   const WcnfFormula& formula = *reduced;
   const Weight m = formula.numSoft();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SoftTracker tracker(sat, formula);
-  SolverSink sink(sat);
+  OracleSession session(opts_);
+  SoftTracker& tracker = session.trackSofts(formula);
   IncrementalAtMost card(opts_.encoding, opts_.reuseEncodings);
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
@@ -69,15 +66,13 @@ MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
     } else if (upper <= m) {
       result.model = std::move(bestModel);
     }
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    const std::vector<Lit> assumps = tracker.assumptions();
-    const lbool st = sat.solve(assumps);
+    const lbool st = session.solve();
 
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
 
@@ -85,28 +80,29 @@ MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
       // SAT: refine the upper bound (Algorithm 1, lines 26-31).
       const Weight nu =
           opts_.tightenWithModelCost
-              ? tracker.relaxedFalsifiedCost(formula, sat.model())
-              : tracker.blockingAssignedTrue(sat.model());
+              ? tracker.relaxedFalsifiedCost(formula, session.sat().model())
+              : tracker.blockingAssignedTrue(session.sat().model());
       if (nu < upper) {
         upper = nu;
-        bestModel = tracker.originalModel(sat.model());
+        bestModel = tracker.originalModel(session.sat().model());
         notifyBounds();
       }
       if (lower >= upper) return finish(MaxSatStatus::Optimum);
-      // Require strictly fewer blocking variables next time.
-      card.assertAtMost(sink, tracker.blockingLits(),
+      // Require strictly fewer blocking variables next time; a re-encode
+      // retires the previous bound structure through the session.
+      card.assertAtMost(session.sink(), tracker.blockingLits(),
                         static_cast<int>(upper) - 1);
       continue;
     }
 
     // UNSAT: analyse the core (Algorithm 1, lines 12-24).
     ++result.coresFound;
-    std::vector<Lit> coreLits = sat.core();
+    std::vector<Lit> coreLits = session.sat().core();
     if (opts_.trimCoreRounds > 0 && coreLits.size() > 1) {
       CoreTrimOptions trimOpts;
       trimOpts.trimRounds = opts_.trimCoreRounds;
-      coreLits = trimCore(sat, std::move(coreLits), trimOpts);
-      result.satCalls += opts_.trimCoreRounds;
+      coreLits = trimCore(session.sat(), std::move(coreLits), trimOpts);
+      session.addExtraSatCalls(opts_.trimCoreRounds);
     }
     const std::vector<int> coreSoft = tracker.coreSoftIndices(coreLits);
     if (coreSoft.empty()) {
@@ -127,7 +123,7 @@ MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
     if (opts_.msu4AtLeastOne) {
       // Optional line 19: at least one of the new blocking variables must
       // be used (prevents re-deriving the same core).
-      static_cast<void>(sat.addClause(freshBlocking));
+      static_cast<void>(session.sat().addClause(freshBlocking));
     }
     lower += 1;  // U++ : every assignment falsifies one more clause
     notifyBounds();

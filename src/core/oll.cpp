@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "core/core_trim.h"
-#include "encodings/sink.h"
+#include "core/oracle_session.h"
 #include "encodings/totalizer.h"
 
 namespace msu {
@@ -19,11 +19,8 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
   MaxSatResult result;
   const Weight total = formula.totalSoftWeight();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SolverSink sink(sat);
-  for (Var v = 0; v < formula.numVars(); ++v) static_cast<void>(sat.newVar());
-  for (const Clause& c : formula.hard()) static_cast<void>(sat.addClause(c));
+  OracleSession session(opts_);
+  session.addHards(formula);
 
   // Active soft items, keyed by assumption literal: assuming the literal
   // claims "no (further) cost here"; its weight is what a violation
@@ -32,20 +29,30 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
 
   // Soft-clause selectors: (C_i ∨ s_i), assumption ¬s_i.
   for (const SoftClause& sc : formula.soft()) {
-    const Lit sel = posLit(sat.newVar());
+    const Lit sel = posLit(session.sat().newVar());
     Clause withSel = sc.lits;
     withSel.push_back(sel);
-    static_cast<void>(sat.addClause(withSel));
+    static_cast<void>(session.sat().addClause(withSel));
     active[~sel] += sc.weight;
   }
 
   // Soft cardinality constraints: assumption literal -> (totalizer id,
-  // bound b), meaning "at most b of the underlying core violated".
+  // bound b), meaning "at most b of the underlying core violated". Each
+  // totalizer lives in its own enforced scope and counts how many of
+  // its bound assumptions are still active: once the last one is paid
+  // off (no successor bound remains), the whole structure is vacuous
+  // and its scope is physically retired — clauses deleted, counting
+  // variables recycled.
   struct SumRef {
     int totalizer = -1;
     int bound = 0;
   };
-  std::vector<std::unique_ptr<Totalizer>> totalizers;
+  struct TotRec {
+    std::unique_ptr<Totalizer> tot;
+    Lit scope = kUndefLit;
+    int activeSums = 0;
+  };
+  std::vector<TotRec> totalizers;
   std::map<Lit, SumRef> sums;
 
   Weight lower = 0;
@@ -60,20 +67,19 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
     result.upperBound = (st == MaxSatStatus::Optimum) ? cost : total;
     result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
     result.model = std::move(model);
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
-  if (!sat.okay()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
+  if (!session.okay()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
     std::vector<Lit> assumptions;
     assumptions.reserve(active.size());
     for (const auto& [lit, w] : active) assumptions.push_back(lit);
 
-    const lbool st = sat.solve(assumptions);
+    const lbool st = session.solve(assumptions);
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, 0, {});
 
     if (st == lbool::True) {
@@ -82,7 +88,7 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
       Assignment model(static_cast<std::size_t>(formula.numVars()));
       for (Var v = 0; v < formula.numVars(); ++v) {
         model[static_cast<std::size_t>(v)] =
-            sat.model()[static_cast<std::size_t>(v)];
+            session.sat().model()[static_cast<std::size_t>(v)];
       }
       const std::optional<Weight> cost = formula.cost(model);
       assert(cost.has_value());
@@ -92,13 +98,18 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
 
     // UNSAT: process the core.
     ++result.coresFound;
-    std::vector<Lit> core = sat.core();
+    std::vector<Lit> core = session.sat().core();
+    // Auto-assumed scope activators may ride along in the core; only
+    // the tracked assumption literals carry cost.
+    std::erase_if(core, [&](Lit p) { return !active.contains(p); });
     if (core.empty()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
     if (opts_.trimCoreRounds > 0 && core.size() > 1) {
       CoreTrimOptions trimOpts;
       trimOpts.trimRounds = opts_.trimCoreRounds;
-      core = trimCore(sat, std::move(core), trimOpts);
-      result.satCalls += opts_.trimCoreRounds;
+      core = trimCore(session.sat(), std::move(core), trimOpts);
+      session.addExtraSatCalls(opts_.trimCoreRounds);
+      std::erase_if(core, [&](Lit p) { return !active.contains(p); });
+      if (core.empty()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
     }
 
     Weight wmin = 0;
@@ -114,20 +125,29 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
     // cardinality members, lazily extend the bound: everything a
     // violation beyond `bound+1` costs is carried by the successor
     // assumption (weight accumulates if it is already active).
+    std::vector<int> touched;  // totalizers whose sums changed
     for (const Lit a : core) {
       auto it = active.find(a);
       it->second -= wmin;
-      if (it->second == 0) active.erase(it);
+      const bool paid = it->second == 0;
+      if (paid) active.erase(it);
 
       const auto sumIt = sums.find(a);
       if (sumIt == sums.end()) continue;
       const SumRef ref = sumIt->second;
-      Totalizer& tot = *totalizers[static_cast<std::size_t>(ref.totalizer)];
+      TotRec& rec = totalizers[static_cast<std::size_t>(ref.totalizer)];
+      if (!paid) continue;
+      sums.erase(sumIt);
+      --rec.activeSums;
+      touched.push_back(ref.totalizer);
       const int nextBound = ref.bound + 1;
-      if (nextBound >= tot.numInputs()) continue;  // "<= k" is vacuous
-      const Lit next = ~tot.outputs()[static_cast<std::size_t>(nextBound)];
+      if (nextBound >= rec.tot->numInputs()) continue;  // "<= k" is vacuous
+      const Lit next =
+          ~rec.tot->outputs()[static_cast<std::size_t>(nextBound)];
       active[next] += wmin;
-      sums.emplace(next, SumRef{ref.totalizer, nextBound});
+      if (sums.emplace(next, SumRef{ref.totalizer, nextBound}).second) {
+        ++rec.activeSums;
+      }
     }
 
     // New soft cardinality constraint over this core: "at most one of
@@ -137,12 +157,27 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
       std::vector<Lit> violated;
       violated.reserve(core.size());
       for (const Lit a : core) violated.push_back(~a);
-      totalizers.push_back(std::make_unique<Totalizer>(
-          sink, violated, /*bothPolarities=*/false));
-      Totalizer& tot = *totalizers.back();
-      const Lit slit = ~tot.outputs()[1];
+      TotRec rec;
+      rec.scope = session.beginScope();
+      rec.tot = std::make_unique<Totalizer>(session.sink(), violated,
+                                            /*bothPolarities=*/false);
+      session.endScope(rec.scope);
+      const Lit slit = ~rec.tot->outputs()[1];
       active[slit] += wmin;
-      sums.emplace(slit, SumRef{static_cast<int>(totalizers.size()) - 1, 1});
+      sums.emplace(slit, SumRef{static_cast<int>(totalizers.size()), 1});
+      rec.activeSums = 1;
+      totalizers.push_back(std::move(rec));
+    }
+
+    // Retire totalizers whose every bound has been charged: their
+    // constraint no longer backs any assumption, so the clauses and
+    // counting variables are reclaimed wholesale.
+    for (const int id : touched) {
+      TotRec& rec = totalizers[static_cast<std::size_t>(id)];
+      if (rec.activeSums > 0 || rec.scope == kUndefLit) continue;
+      session.retire(rec.scope);
+      rec.scope = kUndefLit;
+      rec.tot.reset();
     }
   }
 }

@@ -1,0 +1,124 @@
+/// \file oracle_session.h
+/// \brief The shared incremental-oracle layer under every SAT-based
+///        MaxSAT engine: one object owning the CDCL solver, the scoped
+///        clause sink, the (optional) soft-clause tracker and the
+///        budget, so engines state their algorithm and nothing else.
+///
+/// Before this layer existed, each engine hand-rolled the same
+/// lifecycle plumbing: construct a solver, wire the budget, load hard
+/// clauses, attach selectors, track an `std::optional<Lit> activator`
+/// plus an `activeBound` for its cardinality structure, unit-assert
+/// stale activators to fake retirement, and copy the statistics out at
+/// every exit point. The session centralises all of it on top of the
+/// solver's native encoding-scope machinery (physical retirement +
+/// variable recycling; see solver.h), mirroring the source paper's
+/// philosophy of reusing learnt information across the iterations of a
+/// core-guided search through one incremental oracle interface.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <span>
+
+#include "core/maxsat.h"
+#include "core/soft_tracker.h"
+#include "encodings/sink.h"
+
+namespace msu {
+
+/// One incremental-oracle session: solver + scoped sink + soft tracker
+/// + budget + SAT-call accounting.
+class OracleSession {
+ public:
+  explicit OracleSession(const MaxSatOptions& opts)
+      : sat_(opts.sat), sink_(sat_) {
+    sat_.setBudget(opts.budget);
+  }
+
+  OracleSession(const OracleSession&) = delete;
+  OracleSession& operator=(const OracleSession&) = delete;
+
+  [[nodiscard]] Solver& sat() { return sat_; }
+  [[nodiscard]] ClauseSink& sink() { return sink_; }
+  [[nodiscard]] bool okay() const { return sat_.okay(); }
+
+  // ---- Loading ---------------------------------------------------------
+
+  /// Ensures the solver knows at least `n` variables.
+  void ensureVars(int n) {
+    while (sat_.numVars() < n) {
+      static_cast<void>(sat_.newVar());
+    }
+  }
+
+  /// Loads the hard clauses of `f` (creating its variables first).
+  void addHards(const WcnfFormula& f) {
+    ensureVars(f.numVars());
+    for (const Clause& c : f.hard()) {
+      static_cast<void>(sat_.addClause(c));
+    }
+  }
+
+  /// Loads `f` through a SoftTracker (hards + selector-augmented softs);
+  /// the formula must be unweighted. The tracker's assumptions are then
+  /// included in every `solve()`.
+  SoftTracker& trackSofts(const WcnfFormula& f) {
+    assert(!tracker_.has_value());
+    tracker_.emplace(sat_, f);
+    return *tracker_;
+  }
+
+  [[nodiscard]] bool hasTracker() const { return tracker_.has_value(); }
+  [[nodiscard]] SoftTracker& tracker() { return *tracker_; }
+
+  // ---- Scopes ----------------------------------------------------------
+
+  [[nodiscard]] Lit beginScope() { return sink_.beginScope(); }
+  void endScope(Lit activator) { sink_.endScope(activator); }
+  void setEnforced(Lit activator, bool on) {
+    sink_.setScopeEnforced(activator, on);
+  }
+  void retire(Lit activator) { sink_.retireScope(activator); }
+  void retireAll(std::span<const Lit> activators) {
+    sat_.retireAll(activators);
+  }
+
+  // ---- Solving ---------------------------------------------------------
+
+  /// One oracle call: tracker assumptions (when attached) plus `extra`;
+  /// live scope activators are appended by the solver itself.
+  [[nodiscard]] lbool solve(std::span<const Lit> extra = {}) {
+    ++sat_calls_;
+    if (!tracker_) return sat_.solve(extra);
+    assumps_buf_ = tracker_->assumptions();
+    assumps_buf_.insert(assumps_buf_.end(), extra.begin(), extra.end());
+    return sat_.solve(assumps_buf_);
+  }
+
+  [[nodiscard]] lbool solve(std::initializer_list<Lit> extra) {
+    return solve(std::span<const Lit>(extra.begin(), extra.size()));
+  }
+
+  // ---- Result plumbing -------------------------------------------------
+
+  [[nodiscard]] std::int64_t satCalls() const { return sat_calls_; }
+
+  /// Accounts oracle calls made outside solve() (e.g. core trimming).
+  void addExtraSatCalls(std::int64_t n) { sat_calls_ += n; }
+
+  /// Copies the session's CDCL statistics and call count into a result.
+  void exportStats(MaxSatResult& r) const {
+    r.satStats = sat_.stats();
+    r.satCalls = sat_calls_;
+  }
+
+ private:
+  Solver sat_;
+  SolverSink sink_;
+  std::optional<SoftTracker> tracker_;
+  std::int64_t sat_calls_ = 0;
+  std::vector<Lit> assumps_buf_;
+};
+
+}  // namespace msu

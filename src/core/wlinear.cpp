@@ -2,8 +2,8 @@
 
 #include <cassert>
 
+#include "core/oracle_session.h"
 #include "encodings/cardinality.h"
-#include "encodings/sink.h"
 
 namespace msu {
 
@@ -20,26 +20,24 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
   const Weight total = formula.totalSoftWeight();
   const bool unweighted = formula.isUnweighted();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SolverSink sink(sat);
-  for (Var v = 0; v < formula.numVars(); ++v) static_cast<void>(sat.newVar());
-  for (const Clause& c : formula.hard()) static_cast<void>(sat.addClause(c));
+  OracleSession session(opts_);
+  session.addHards(formula);
 
   // Blocking variable per soft clause (the paper's PBO formulation).
   std::vector<PbTerm> terms;
   terms.reserve(static_cast<std::size_t>(formula.numSoft()));
   for (const SoftClause& sc : formula.soft()) {
-    const Lit b = posLit(sat.newVar());
+    const Lit b = posLit(session.sat().newVar());
     Clause withB = sc.lits;
     withB.push_back(b);
-    static_cast<void>(sat.addClause(withB));
+    static_cast<void>(session.sat().addClause(withB));
     terms.push_back({b, sc.weight});
   }
 
   Weight lower = 0;
   Weight upper = total + 1;  // no model yet
   Assignment best;
+  Lit boundScope = kUndefLit;  // scope of the current bound constraint
 
   auto notifyBounds = [&] {
     if (opts_.onBounds) opts_.onBounds(lower, upper);
@@ -55,14 +53,13 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
     } else if (upper <= total) {
       result.model = std::move(best);
     }
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    const lbool st = sat.solve();
+    const lbool st = session.solve();
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown);
     if (st == lbool::False) {
       // No model beats the bound: either the hards alone are
@@ -74,7 +71,7 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
     Assignment model(static_cast<std::size_t>(formula.numVars()));
     for (Var v = 0; v < formula.numVars(); ++v) {
       model[static_cast<std::size_t>(v)] =
-          sat.model()[static_cast<std::size_t>(v)];
+          session.sat().model()[static_cast<std::size_t>(v)];
     }
     const std::optional<Weight> cost = formula.cost(model);
     assert(cost.has_value());
@@ -85,15 +82,21 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
 
     // Demand a strictly better model. A falsified soft clause forces its
     // blocking variable, so any model of the constrained formula has
-    // true cost <= upper - 1.
+    // true cost <= upper - 1. The new constraint subsumes the previous
+    // one, whose scope is physically retired instead of rotting in the
+    // database.
+    if (boundScope != kUndefLit) session.retire(boundScope);
+    boundScope = session.beginScope();
     if (unweighted) {
       std::vector<Lit> lits;
       lits.reserve(terms.size());
       for (const PbTerm& t : terms) lits.push_back(t.lit);
-      encodeAtMost(sink, lits, static_cast<int>(upper) - 1, opts_.encoding);
+      encodeAtMost(session.sink(), lits, static_cast<int>(upper) - 1,
+                   opts_.encoding);
     } else {
-      encodePbLeq(sink, terms, upper - 1, pb_);
+      encodePbLeq(session.sink(), terms, upper - 1, pb_);
     }
+    session.endScope(boundScope);
   }
 }
 

@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/oracle_session.h"
 #include "encodings/cardinality.h"
-#include "encodings/sink.h"
 
 namespace msu {
 namespace {
 
 /// One active soft item: a clause version in the solver with its weight.
+/// The version lives in its own encoding scope; the scope activator is
+/// the enforcement assumption, and retiring the scope deletes the
+/// clause physically (recycling the selector variable).
 struct SoftItem {
   Clause lits;     ///< original literals plus accumulated blocking vars
   Weight weight;   ///< remaining weight carried by this version
-  Lit selector;    ///< current selector (assume ~selector to enforce)
+  Lit version;     ///< scope activator of the current version
 };
 
 }  // namespace
@@ -27,30 +30,25 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
   const int numOriginalVars = formula.numVars();
   const Weight totalSoft = formula.totalSoftWeight();
 
-  Solver sat(opts_.sat);
-  sat.setBudget(opts_.budget);
-  SolverSink sink(sat);
-  while (sat.numVars() < numOriginalVars) static_cast<void>(sat.newVar());
-  for (const Clause& h : formula.hard()) static_cast<void>(sat.addClause(h));
+  OracleSession session(opts_);
+  session.addHards(formula);
 
   std::vector<SoftItem> items;
-  std::unordered_map<Var, int> selectorToItem;
+  std::unordered_map<Var, int> activatorToItem;
 
   auto install = [&](Clause lits, Weight weight) {
-    const Var a = sat.newVar();
-    SoftItem item{std::move(lits), weight, posLit(a)};
-    Clause augmented = item.lits;
-    augmented.push_back(item.selector);
-    static_cast<void>(sat.addClause(augmented));
-    selectorToItem[a] = static_cast<int>(items.size());
-    items.push_back(std::move(item));
+    const Lit act = session.beginScope();
+    session.sink().addClause(lits);
+    session.endScope(act);
+    activatorToItem[act.var()] = static_cast<int>(items.size());
+    items.push_back(SoftItem{std::move(lits), weight, act});
   };
 
   for (const SoftClause& s : formula.soft()) install(s.lits, s.weight);
 
-  if (!sat.okay()) {
+  if (!session.okay()) {
     result.status = MaxSatStatus::UnsatisfiableHard;
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   }
 
@@ -62,26 +60,21 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
     result.upperBound = (st == MaxSatStatus::Optimum) ? cost : totalSoft;
     result.cost = (st == MaxSatStatus::Optimum) ? cost : 0;
     result.model = std::move(model);
-    result.satStats = sat.stats();
+    session.exportStats(result);
     return result;
   };
 
   while (true) {
     ++result.iterations;
-    ++result.satCalls;
-    std::vector<Lit> assumps;
-    assumps.reserve(items.size());
-    for (const SoftItem& item : items) {
-      if (item.weight > 0) assumps.push_back(~item.selector);
-    }
-
-    const lbool st = sat.solve(assumps);
+    // Enforcement is automatic: every live version scope's activator is
+    // assumed by the solver itself.
+    const lbool st = session.solve();
     if (st == lbool::Undef) return finish(MaxSatStatus::Unknown, {});
 
     if (st == lbool::True) {
       Assignment model(static_cast<std::size_t>(numOriginalVars));
       for (Var v = 0; v < numOriginalVars; ++v) {
-        const lbool val = sat.model()[static_cast<std::size_t>(v)];
+        const lbool val = session.sat().model()[static_cast<std::size_t>(v)];
         model[static_cast<std::size_t>(v)] =
             (val == lbool::Undef) ? lbool::False : val;
       }
@@ -90,9 +83,9 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
 
     ++result.coresFound;
     std::vector<int> coreItems;
-    for (Lit p : sat.core()) {
-      if (auto it = selectorToItem.find(p.var());
-          it != selectorToItem.end()) {
+    for (Lit p : session.sat().core()) {
+      if (auto it = activatorToItem.find(p.var());
+          it != activatorToItem.end()) {
         coreItems.push_back(it->second);
       }
     }
@@ -109,30 +102,37 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
       wmin = std::min(wmin, items[static_cast<std::size_t>(idx)].weight);
     }
 
-    std::vector<Lit> freshBlocking;
-    freshBlocking.reserve(coreItems.size());
+    // Retire every core member's version in one batch sweep, then
+    // install the residual and relaxed successors.
+    std::vector<Lit> retired;
+    std::vector<std::pair<Clause, Weight>> split;  // (lits, old weight)
+    retired.reserve(coreItems.size());
+    split.reserve(coreItems.size());
     for (int idx : coreItems) {
-      // Copy out before install() — it grows `items` and may reallocate.
-      const Clause lits = items[static_cast<std::size_t>(idx)].lits;
-      const Weight weight = items[static_cast<std::size_t>(idx)].weight;
-      const Lit oldSelector = items[static_cast<std::size_t>(idx)].selector;
-      items[static_cast<std::size_t>(idx)].weight = 0;  // retire
+      SoftItem& item = items[static_cast<std::size_t>(idx)];
+      retired.push_back(item.version);
+      activatorToItem.erase(item.version.var());
+      split.emplace_back(item.lits, item.weight);
+      item.weight = 0;  // retired
+    }
+    session.retireAll(retired);
 
-      selectorToItem.erase(oldSelector.var());
-      static_cast<void>(sat.addClause({oldSelector}));
+    std::vector<Lit> freshBlocking;
+    freshBlocking.reserve(split.size());
+    for (auto& [clauseLits, weight] : split) {
       const Weight residual = weight - wmin;
       if (residual > 0) {
         // Residual copy without a new blocking variable.
-        install(lits, residual);
+        install(clauseLits, residual);
       }
       // Relaxed copy of weight wmin with a fresh blocking variable.
-      const Lit b = posLit(sat.newVar());
-      Clause relaxed = lits;
+      const Lit b = posLit(session.sat().newVar());
+      Clause relaxed = std::move(clauseLits);
       relaxed.push_back(b);
       freshBlocking.push_back(b);
       install(std::move(relaxed), wmin);
     }
-    encodeExactlyOne(sink, freshBlocking);
+    encodeExactlyOne(session.sink(), freshBlocking);
     cost += wmin;
     if (opts_.onBounds) opts_.onBounds(cost, totalSoft + 1);
   }

@@ -5,6 +5,12 @@
 ///        Batcher sorter used by msu4 v2, at O(n log^2 k) instead of
 ///        O(n log^2 n) size — the natural "alternative encoding" the
 ///        paper's §5 asks to be explored.
+///
+/// Emits through the (possibly scoped) ClauseSink: msu4-cnet builds
+/// each network inside an encoding scope, so superseded networks are
+/// physically retired and their wires recycled (see sink.h). The
+/// constant true/false wires come from the sink's scope-independent
+/// trueLit().
 
 #pragma once
 

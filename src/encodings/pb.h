@@ -6,6 +6,11 @@
 ///        with a lexicographic comparator. (minisat+'s mixed-radix sorter
 ///        translation is intentionally out of scope; the cardinality
 ///        sorter in cardinality.h covers the unit-coefficient case.)
+///
+/// Emits through the (possibly scoped) ClauseSink: wlinear wraps each
+/// successive `sum <= upper-1` constraint in an encoding scope and
+/// retires the previous one, so the adder/BDD auxiliaries of stale
+/// bounds are physically deleted and recycled (see sink.h).
 
 #pragma once
 

@@ -3,10 +3,39 @@
 ///        solver during search, or a plain formula when building CNF
 ///        offline (tests, file export). All encoders target this
 ///        interface so every encoding is usable in both settings.
+///
+/// ## Encoding scopes (the session model)
+///
+/// Incremental MaxSAT engines re-encode cardinality/PB structures as
+/// their bounds and literal sets evolve; the predecessor structure must
+/// then be *retired* rather than left to rot in the clause database.
+/// The sink makes this a first-class lifecycle:
+///
+///   Lit act = sink.beginScope();     // open a scope; `act` guards it
+///   encodeAtMost(sink, lits, k, enc); // clauses get `~act` appended
+///   sink.endScope(act);              // close (emission complete)
+///   ...                              // constraint active while `act` holds
+///   sink.retireScope(act);           // discard the whole structure
+///
+/// Every clause emitted inside a scope is guarded by the scope's
+/// activator: the constraint is enforced exactly when the activator is
+/// true. A `SolverSink` maps scopes onto the solver's native
+/// retirement machinery (clause tagging, physical deletion, variable
+/// recycling, automatic activator assumptions — see solver.h); for
+/// formula sinks, `retireScope` falls back to the classic logical
+/// retirement (unit-asserting the negated activator).
+///
+/// Scopes must be self-contained: clauses emitted after a scope ends
+/// must not mention its variables (they may be recycled at any time
+/// after retireScope). `trueLit()` is scope-independent — it is always
+/// created unguarded and unowned, so encoders may use it freely inside
+/// scopes.
 
 #pragma once
 
+#include <cassert>
 #include <span>
+#include <vector>
 
 #include "cnf/formula.h"
 #include "cnf/literal.h"
@@ -15,27 +44,40 @@
 
 namespace msu {
 
-/// Destination for encoder output: fresh variables plus clauses.
+/// Destination for encoder output: fresh variables plus clauses, with
+/// scope-based lifecycle management for retirable constraint groups.
 class ClauseSink {
  public:
   virtual ~ClauseSink() = default;
 
-  /// Creates a fresh variable.
+  /// Creates a fresh variable (owned by the innermost open scope, where
+  /// the sink supports ownership).
   virtual Var newVar() = 0;
 
-  /// Adds a clause over existing variables.
-  virtual void addClause(std::span<const Lit> lits) = 0;
+  /// Adds a clause over existing variables. Inside an open scope the
+  /// scope's guard literal is appended automatically.
+  void addClause(std::span<const Lit> lits) {
+    if (scope_stack_.empty()) {
+      emitClause(lits);
+      return;
+    }
+    guard_buf_.assign(lits.begin(), lits.end());
+    guard_buf_.push_back(~scope_stack_.back());
+    emitClause(guard_buf_);
+  }
 
   void addClause(std::initializer_list<Lit> lits) {
     addClause(std::span<const Lit>(lits.begin(), lits.size()));
   }
 
   /// A literal constrained to be true (lazily created once per sink).
-  /// Its complement serves as the constant false.
+  /// Its complement serves as the constant false. Scope-independent:
+  /// created unguarded and never owned by a scope.
   [[nodiscard]] Lit trueLit() {
     if (!true_lit_.defined()) {
-      true_lit_ = posLit(newVar());
-      addClause({true_lit_});
+      true_lit_ = posLit(newGlobalVar());
+      const Lit unit = true_lit_;
+      emitClause({&unit, 1});
     }
     return true_lit_;
   }
@@ -43,11 +85,71 @@ class ClauseSink {
   /// A literal constrained to be false.
   [[nodiscard]] Lit falseLit() { return ~trueLit(); }
 
+  // ---- Scopes ----------------------------------------------------------
+
+  /// Opens a fresh encoding scope and returns its activator handle.
+  /// The default (offline) implementation guards the scope's clauses
+  /// with a fresh free variable; the exported constraint is enforced
+  /// exactly when that activator is made true (see setScopeEnforced).
+  [[nodiscard]] virtual Lit beginScope() {
+    const Lit act = posLit(newGlobalVar());
+    scope_stack_.push_back(act);
+    return act;
+  }
+
+  /// Re-enters a live scope for additional emission (e.g. tightening a
+  /// bound over an already-built network).
+  virtual void reopenScope(Lit activator) {
+    scope_stack_.push_back(activator);
+  }
+
+  /// Closes the innermost scope; must match its activator.
+  virtual void endScope(Lit activator) {
+    assert(!scope_stack_.empty() && scope_stack_.back() == activator);
+    static_cast<void>(activator);
+    scope_stack_.pop_back();
+  }
+
+  /// Discards the scope's constraint. Solver sinks delete its clauses
+  /// physically and recycle its variables; the default is the logical
+  /// fallback: permanently assert the negated activator (emitted raw,
+  /// so it stays unconditional even while another scope is open).
+  virtual void retireScope(Lit activator) {
+    const Lit unit = ~activator;
+    emitClause({&unit, 1});
+  }
+
+  /// Chooses whether a live scope's constraint is active (enforced) or
+  /// inert. Only meaningful for solver-backed sinks, where the solver
+  /// assumes the activator (or its negation) on every solve. On offline
+  /// formula sinks a scope is merely an activator-guarded clause group:
+  /// the emitted formula enforces the constraint exactly when the
+  /// activator holds, and the consumer decides that by asserting or
+  /// assuming the activator literal itself.
+  virtual void setScopeEnforced(Lit activator, bool enforced) {
+    static_cast<void>(activator);
+    static_cast<void>(enforced);
+  }
+
+  /// True iff a scope is currently open for emission.
+  [[nodiscard]] bool inScope() const { return !scope_stack_.empty(); }
+
+ protected:
+  /// Raw clause emission (no guard handling).
+  virtual void emitClause(std::span<const Lit> lits) = 0;
+
+  /// Fresh variable outside any scope's ownership.
+  virtual Var newGlobalVar() { return newVar(); }
+
+  std::vector<Lit> scope_stack_;  ///< open scopes, innermost last
+
  private:
   Lit true_lit_ = kUndefLit;
+  std::vector<Lit> guard_buf_;
 };
 
-/// Sink that feeds a CDCL solver.
+/// Sink that feeds a CDCL solver; scopes map onto the solver's native
+/// retirement machinery (Solver::newActivator / retire).
 class SolverSink final : public ClauseSink {
  public:
   explicit SolverSink(Solver& solver) : solver_(&solver) {}
@@ -56,10 +158,39 @@ class SolverSink final : public ClauseSink {
 
   Var newVar() override { return solver_->newVar(); }
 
-  void addClause(std::span<const Lit> lits) override {
+  [[nodiscard]] Lit beginScope() override {
+    const Lit act = solver_->newActivator();
+    solver_->openScope(act);
+    scope_stack_.push_back(act);
+    return act;
+  }
+
+  void reopenScope(Lit activator) override {
+    solver_->openScope(activator);
+    scope_stack_.push_back(activator);
+  }
+
+  void endScope(Lit activator) override {
+    assert(!scope_stack_.empty() && scope_stack_.back() == activator);
+    scope_stack_.pop_back();
+    solver_->closeScope(activator);
+  }
+
+  void retireScope(Lit activator) override { solver_->retire(activator); }
+
+  void setScopeEnforced(Lit activator, bool enforced) override {
+    solver_->setScopeEnforced(activator, enforced);
+  }
+
+ protected:
+  void emitClause(std::span<const Lit> lits) override {
     // A conflicting addition flips the solver to "not okay"; encoders
     // need not observe it (subsequent solves report UNSAT).
     static_cast<void>(solver_->addClause(lits));
+  }
+
+  Var newGlobalVar() override {
+    return solver_->newVar(/*decisionVar=*/true, /*scoped=*/false);
   }
 
  private:
@@ -75,7 +206,10 @@ class FormulaSink final : public ClauseSink {
 
   Var newVar() override { return cnf_->newVar(); }
 
-  void addClause(std::span<const Lit> lits) override { cnf_->addClause(lits); }
+ protected:
+  void emitClause(std::span<const Lit> lits) override {
+    cnf_->addClause(lits);
+  }
 
  private:
   CnfFormula* cnf_;
@@ -90,7 +224,8 @@ class WcnfHardSink final : public ClauseSink {
 
   Var newVar() override { return wcnf_->newVar(); }
 
-  void addClause(std::span<const Lit> lits) override { wcnf_->addHard(lits); }
+ protected:
+  void emitClause(std::span<const Lit> lits) override { wcnf_->addHard(lits); }
 
  private:
   WcnfFormula* wcnf_;

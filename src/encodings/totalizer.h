@@ -23,6 +23,15 @@ namespace msu {
 /// previously emitted clauses — this is what makes the constraint usable
 /// incrementally as core-guided algorithms discover new blocking
 /// variables.
+///
+/// Scoped emission: a totalizer built inside a sink scope (see sink.h)
+/// is retirable wholesale — OLL wraps each per-core totalizer in its
+/// own scope and retires it once every bound is paid off. A scoped
+/// totalizer must stay self-contained: do not call addInputs (or
+/// reference the outputs from new clauses) after its scope has ended,
+/// since retirement recycles the counting variables. The long-lived
+/// trees of msu3/msu4's incremental bound managers are deliberately
+/// built unscoped.
 class Totalizer {
  public:
   /// Builds a totalizer over `inputs` (may be empty and extended later).

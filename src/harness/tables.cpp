@@ -189,6 +189,10 @@ void printSatStats(std::ostream& out, const SolverStats& stats,
   row("tier tier2", stats.tier_tier2);
   row("tier local", stats.tier_local);
   row("gc runs", stats.gc_runs);
+  row("retired scopes", stats.retired_scopes);
+  row("retired clauses", stats.retired_clauses);
+  row("reclaimed bytes", stats.reclaimed_bytes);
+  row("recycled vars", stats.recycled_vars);
 }
 
 }  // namespace msu

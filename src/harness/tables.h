@@ -52,8 +52,10 @@ void printScatterSummary(std::ostream& out,
                          const std::string& xName, const std::string& yName);
 
 /// Prints the CDCL substrate counters (search totals, the propagation
-/// breakdown from the flat-watch/binary-fast-path core, and the learnt
-/// database's tier occupancy) as a labelled two-column table. Every
+/// breakdown from the flat-watch/binary-fast-path core, the learnt
+/// database's tier occupancy, and the encoding-lifecycle accounting —
+/// retired scopes/clauses, reclaimed bytes, recycled variables) as a
+/// labelled two-column table. Every
 /// line starts with `linePrefix` (e.g. "c " to keep DIMACS-style
 /// solver output machine-skippable).
 void printSatStats(std::ostream& out, const SolverStats& stats,

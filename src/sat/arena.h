@@ -4,6 +4,13 @@
 ///        MiniSat tradition. Clause references (CRef) are stable offsets
 ///        until a GC, at which point every holder relocates through
 ///        ClauseArena::reloc().
+///
+/// Clauses emitted inside an encoding scope (see Solver::newActivator /
+/// Solver::retire) carry an *activator tag*: the variable of the guard
+/// literal that owns them. The tag word is only materialised for tagged
+/// clauses, so plain SAT workloads pay nothing; retire() uses it to find
+/// a scope's original clauses and learnt descendants without scanning
+/// their literals.
 
 #pragma once
 
@@ -27,73 +34,89 @@ inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
 /// Mutable view over a clause stored in an arena.
 ///
 /// Layout (32-bit words):
-///   word 0: header — size<<3 | relocated<<2 | deleted<<1 | learnt
+///   word 0: header — size<<4 | tagged<<3 | relocated<<2 | deleted<<1 | learnt
 ///   word 1: float activity       (learnt clauses only)
 ///   word 2: learnt metadata      (learnt clauses only):
 ///             bits  0..23  LBD / glue level (saturating)
 ///             bits 24..25  `used` aging counter for the tiered DB
 ///             bits 26..27  tier (0 = core, 1 = tier2, 2 = local)
-///   then `size` literal words.
+///   then `size` literal words,
+///   then the activator tag word  (tagged clauses only: guard variable).
+///
+/// The tag word trails the literals so that the literal base offset
+/// depends on the learnt bit alone — the propagation loop's literal
+/// accesses stay exactly as cheap as without tagging (moving the tag
+/// into the leading header words costs ~15% pure-UP throughput).
 class ClauseRefView {
  public:
   explicit ClauseRefView(std::uint32_t* base) : base_(base) {}
 
-  [[nodiscard]] int size() const { return static_cast<int>(base_[0] >> 3); }
+  [[nodiscard]] int size() const { return static_cast<int>(base_[0] >> 4); }
   [[nodiscard]] bool learnt() const { return (base_[0] & 1u) != 0; }
   [[nodiscard]] bool deleted() const { return (base_[0] & 2u) != 0; }
   [[nodiscard]] bool relocated() const { return (base_[0] & 4u) != 0; }
+  [[nodiscard]] bool tagged() const { return (base_[0] & 8u) != 0; }
 
   void markDeleted() { base_[0] |= 2u; }
+
+  /// Activator variable owning a tagged clause.
+  [[nodiscard]] Var tag() const {
+    assert(tagged());
+    return static_cast<Var>(litBase()[size()]);
+  }
 
   /// Activity of a learnt clause.
   [[nodiscard]] float activity() const {
     assert(learnt());
-    return std::bit_cast<float>(base_[1]);
+    return std::bit_cast<float>(base_[metaBase()]);
   }
   void setActivity(float a) {
     assert(learnt());
-    base_[1] = std::bit_cast<std::uint32_t>(a);
+    base_[metaBase()] = std::bit_cast<std::uint32_t>(a);
   }
 
   /// Literal-block distance (number of distinct decision levels at
   /// learning time; Glucose's "glue").
   [[nodiscard]] std::uint32_t lbd() const {
     assert(learnt());
-    return base_[2] & kLbdMask;
+    return base_[metaBase() + 1] & kLbdMask;
   }
   void setLbd(std::uint32_t lbd) {
     assert(learnt());
-    base_[2] = (base_[2] & ~kLbdMask) | (lbd < kLbdMask ? lbd : kLbdMask);
+    std::uint32_t& w = base_[metaBase() + 1];
+    w = (w & ~kLbdMask) | (lbd < kLbdMask ? lbd : kLbdMask);
   }
 
   /// `used` aging counter (0..3) consumed by the tiered reduceDB.
   [[nodiscard]] std::uint32_t used() const {
     assert(learnt());
-    return (base_[2] >> 24) & 3u;
+    return (base_[metaBase() + 1] >> 24) & 3u;
   }
   void setUsed(std::uint32_t used) {
     assert(learnt() && used <= 3u);
-    base_[2] = (base_[2] & ~(3u << 24)) | (used << 24);
+    std::uint32_t& w = base_[metaBase() + 1];
+    w = (w & ~(3u << 24)) | (used << 24);
   }
 
   /// Learnt-DB tier (0 = core, 1 = tier2, 2 = local).
   [[nodiscard]] std::uint32_t tier() const {
     assert(learnt());
-    return (base_[2] >> 26) & 3u;
+    return (base_[metaBase() + 1] >> 26) & 3u;
   }
   void setTier(std::uint32_t tier) {
     assert(learnt() && tier <= 3u);
-    base_[2] = (base_[2] & ~(3u << 26)) | (tier << 26);
+    std::uint32_t& w = base_[metaBase() + 1];
+    w = (w & ~(3u << 26)) | (tier << 26);
   }
 
   /// Raw learnt-metadata word (LBD + used + tier), for GC relocation.
   [[nodiscard]] std::uint32_t learntMeta() const {
     assert(learnt());
-    return base_[2];
+    return base_[metaBase() + 1];
   }
   void setLearntMeta(std::uint32_t meta) {
     assert(learnt());
-    base_[2] = meta;
+    base_[metaBase() + 1] = meta;
   }
 
   [[nodiscard]] Lit& operator[](int i) {
@@ -111,10 +134,13 @@ class ClauseRefView {
             static_cast<std::size_t>(size())};
   }
 
-  /// Shrinks the clause to its first `newSize` literals.
+  /// Shrinks the clause to its first `newSize` literals. The trailing
+  /// tag word (if any) moves to the new end; the abandoned words are
+  /// reclaimed at the next GC like any other slack.
   void shrink(int newSize) {
     assert(newSize >= 0 && newSize <= size());
-    base_[0] = (static_cast<std::uint32_t>(newSize) << 3) | (base_[0] & 7u);
+    if (tagged()) litBase()[newSize] = litBase()[size()];
+    base_[0] = (static_cast<std::uint32_t>(newSize) << 4) | (base_[0] & 15u);
   }
 
   /// Forwarding pointer support for GC relocation.
@@ -127,11 +153,22 @@ class ClauseRefView {
     return litBase()[0];
   }
 
+  /// Non-literal words of the stored clause (header + learnt words +
+  /// trailing tag word).
+  [[nodiscard]] int headerWords() const {
+    return 1 + (learnt() ? 2 : 0) + (tagged() ? 1 : 0);
+  }
+
  private:
   static constexpr std::uint32_t kLbdMask = 0x00FF'FFFFu;
 
+  /// Word index of the learnt activity word.
+  [[nodiscard]] std::uint32_t metaBase() const { return 1u; }
+
+  /// Depends on the learnt bit only (the tag word trails the literals),
+  /// keeping the propagation loop's literal accesses at seed cost.
   [[nodiscard]] std::uint32_t* litBase() const {
-    return base_ + (learnt() ? 3 : 1);
+    return base_ + ((base_[0] & 1u) != 0 ? 3 : 1);
   }
 
   std::uint32_t* base_;
@@ -142,15 +179,18 @@ class ClauseArena {
  public:
   ClauseArena() { mem_.reserve(1u << 16); }
 
-  /// Allocates a clause; returns its reference.
-  [[nodiscard]] CRef alloc(std::span<const Lit> lits, bool learnt) {
+  /// Allocates a clause; returns its reference. `tagVar`, when defined,
+  /// records the activator variable owning the clause (see retire()).
+  [[nodiscard]] CRef alloc(std::span<const Lit> lits, bool learnt,
+                           Var tagVar = kUndefVar) {
     // CRefs must stay below 2^31: the solver packs a tag bit beside
     // them (see Reason in watches.h). Fail loudly rather than hand out
     // references whose top bit would be misread as the binary tag.
-    if (mem_.size() + lits.size() + 3 > (1u << 31)) std::abort();
+    if (mem_.size() + lits.size() + 4 > (1u << 31)) std::abort();
     const auto size = static_cast<std::uint32_t>(lits.size());
+    const bool tagged = tagVar != kUndefVar;
     const CRef ref = static_cast<CRef>(mem_.size());
-    mem_.push_back((size << 3) | (learnt ? 1u : 0u));
+    mem_.push_back((size << 4) | (tagged ? 8u : 0u) | (learnt ? 1u : 0u));
     if (learnt) {
       mem_.push_back(std::bit_cast<std::uint32_t>(0.0f));
       mem_.push_back(0u);  // LBD, set by the solver after analysis
@@ -158,6 +198,7 @@ class ClauseArena {
     for (Lit p : lits) {
       mem_.push_back(static_cast<std::uint32_t>(p.index()));
     }
+    if (tagged) mem_.push_back(static_cast<std::uint32_t>(tagVar));
     return ref;
   }
 
@@ -172,8 +213,9 @@ class ClauseArena {
   }
 
   /// Records that a clause of the given stored size was logically freed.
-  void markWasted(int clauseSize, bool learnt) {
-    wasted_ += static_cast<std::uint32_t>(clauseSize) + (learnt ? 3u : 1u);
+  void markWasted(int clauseSize, bool learnt, bool tagged = false) {
+    wasted_ += static_cast<std::uint32_t>(clauseSize) + 1u +
+               (learnt ? 2u : 0u) + (tagged ? 1u : 0u);
   }
 
   /// Words logically wasted by deleted clauses.
@@ -191,7 +233,8 @@ class ClauseArena {
       ref = c.relocation();
       return;
     }
-    const CRef fresh = to.alloc(c.lits(), c.learnt());
+    const CRef fresh =
+        to.alloc(c.lits(), c.learnt(), c.tagged() ? c.tag() : kUndefVar);
     if (c.learnt()) {
       to[fresh].setActivity(c.activity());
       to[fresh].setLearntMeta(c.learntMeta());

@@ -30,20 +30,215 @@ double lubySequence(double y, int i) {
 
 Solver::Solver(const Options& opts) : opts_(opts), order_heap_(activity_) {}
 
-Var Solver::newVar(bool decisionVar) {
-  const Var v = numVars();
-  watches_.addLiteral();
-  watches_.addLiteral();
-  binwatches_.addLiteral();
-  binwatches_.addLiteral();
-  assigns_.push_back(lbool::Undef);
-  vardata_.push_back(VarData{});
-  polarity_.push_back(1);  // default phase: assign false first
-  decision_.push_back(decisionVar ? 1 : 0);
-  activity_.push_back(0.0);
-  seen_.push_back(0);
-  if (decisionVar) order_heap_.insert(v);
+Var Solver::newVar(bool decisionVar, bool scoped) {
+  Var v;
+  if (!free_vars_.empty()) {
+    // Recycle a variable freed by a retired scope. Its watch lists are
+    // empty (retire purges them) and it is unassigned; reset the
+    // heuristic state to that of a fresh variable.
+    v = free_vars_.back();
+    free_vars_.pop_back();
+    assert(assigns_[v] == lbool::Undef);
+    vardata_[v] = VarData{};
+    polarity_[v] = 1;
+    activity_[v] = 0.0;
+    seen_[v] = 0;
+    decision_[v] = decisionVar ? 1 : 0;
+    if (order_heap_.contains(v)) {
+      order_heap_.update(v);  // activity changed: restore heap order
+    } else if (decisionVar) {
+      order_heap_.insert(v);
+    }
+  } else {
+    v = numVars();
+    watches_.addLiteral();
+    watches_.addLiteral();
+    assigns_.push_back(lbool::Undef);
+    vardata_.push_back(VarData{});
+    polarity_.push_back(1);  // default phase: assign false first
+    decision_.push_back(decisionVar ? 1 : 0);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    is_activator_.push_back(0);
+    scope_index_.push_back(-1);
+    assump_stamp_.push_back(0);
+    if (decisionVar) order_heap_.insert(v);
+  }
+  if (scoped && !scope_stack_.empty()) {
+    const Var owner = scope_stack_.back();
+    assert(scope_index_[owner] >= 0);
+    scopes_[static_cast<std::size_t>(scope_index_[owner])]
+        .second.vars.push_back(v);
+  }
   return v;
+}
+
+Lit Solver::newActivator() {
+  const Var v = newVar(/*decisionVar=*/false, /*scoped=*/false);
+  is_activator_[v] = 1;
+  scope_index_[v] = static_cast<int>(scopes_.size());
+  scopes_.emplace_back(v, ScopeRec{});
+  return posLit(v);
+}
+
+void Solver::openScope(Lit activator) {
+  assert(isLiveScope(activator));
+  scope_stack_.push_back(activator.var());
+}
+
+void Solver::closeScope(Lit activator) {
+  assert(!scope_stack_.empty() && scope_stack_.back() == activator.var());
+  static_cast<void>(activator);
+  scope_stack_.pop_back();
+}
+
+void Solver::setScopeEnforced(Lit activator, bool enforced) {
+  const int slot = scope_index_[activator.var()];
+  assert(slot >= 0 && "setScopeEnforced on a retired scope");
+  scopes_[static_cast<std::size_t>(slot)].second.enforced = enforced;
+}
+
+bool Solver::isLiveScope(Lit activator) const {
+  const Var v = activator.var();
+  return v >= 0 && v < numVars() && scope_index_[v] >= 0;
+}
+
+void Solver::retireAll(std::span<const Lit> activators) {
+  assert(decisionLevel() == 0);
+  // Mark the activators and every scope-owned variable; collect the
+  // recycling candidates.
+  std::vector<char> marked(static_cast<std::size_t>(numVars()), 0);
+  std::vector<Var> candidates;
+  bool any = false;
+  for (const Lit actLit : activators) {
+    const Var a = actLit.var();
+    const int slot = scope_index_[a];
+    if (slot < 0) continue;  // unknown or already retired
+    assert(std::find(scope_stack_.begin(), scope_stack_.end(), a) ==
+           scope_stack_.end());
+    any = true;
+    ++stats_.retired_scopes;
+    marked[a] = 1;
+    candidates.push_back(a);
+    for (const Var v : scopes_[static_cast<std::size_t>(slot)].second.vars) {
+      marked[v] = 1;
+      candidates.push_back(v);
+    }
+    is_activator_[a] = 0;
+    scope_index_[a] = -1;
+    // Swap-and-pop: O(1) removal, fixing up the moved scope's index.
+    if (static_cast<std::size_t>(slot) + 1 != scopes_.size()) {
+      scopes_[static_cast<std::size_t>(slot)] = std::move(scopes_.back());
+      scope_index_[scopes_[static_cast<std::size_t>(slot)].first] = slot;
+    }
+    scopes_.pop_back();
+  }
+  if (!any) return;
+
+  // A level-0 assigned scope variable (an activator refuted by the rest
+  // of the database) stays assigned and is burned rather than recycled;
+  // record its unit as a lemma while the justifying clauses still exist
+  // so the proof stays checkable.
+  for (const Var v : candidates) {
+    if (assigns_[v] != lbool::Undef) {
+      const Lit unit(v, assigns_[v] == lbool::False);
+      traceLemma({&unit, 1});
+    }
+  }
+
+  // Long clauses: originals carry the scope tag; learnt descendants
+  // carry the tag of *a* scope plus the guard literal, so the tag is a
+  // fast path and the literal scan the safety net (a clause can descend
+  // from several scopes).
+  const auto sweep = [&](std::vector<CRef>& refs) {
+    std::size_t j = 0;
+    for (const CRef ref : refs) {
+      ClauseRefView c = arena_[ref];
+      bool kill = c.tagged() && marked[c.tag()] != 0;
+      if (!kill) {
+        for (const Lit p : c.lits()) {
+          if (marked[p.var()] != 0) {
+            kill = true;
+            break;
+          }
+        }
+      }
+      if (kill) {
+        stats_.reclaimed_bytes +=
+            static_cast<std::int64_t>(c.size() + c.headerWords()) * 4;
+        ++stats_.retired_clauses;
+        removeClause(ref);
+      } else {
+        refs[j++] = ref;
+      }
+    }
+    refs.resize(j);
+  };
+  sweep(clauses_);
+  sweep(learnts_);
+
+  // Binary clauses: every scope binary involves a marked variable (the
+  // guard literal at least), so one sweep over the binary lists finds
+  // them all; each clause is counted on its canonical direction only.
+  for (int idx = 0; idx < watches_.numLits(); ++idx) {
+    const Lit trigger = Lit::fromIndex(idx);
+    const bool trigMarked = marked[trigger.var()] != 0;
+    const std::span<BinWatch> ws = watches_.binList(trigger);
+    std::uint32_t j = 0;
+    for (const BinWatch bw : ws) {
+      const Lit other = bw.implied();
+      if (!trigMarked && marked[other.var()] == 0) {
+        ws[j++] = bw;
+        continue;
+      }
+      const Lit self = ~trigger;  // the clause literal watched via `idx`
+      if (self.index() < other.index()) {
+        if (bw.learnt()) {
+          --num_bin_learnt_;
+        } else {
+          --num_bin_orig_;
+        }
+        ++stats_.retired_clauses;
+        stats_.reclaimed_bytes +=
+            static_cast<std::int64_t>(2 * sizeof(BinWatch));
+        if (opts_.tracer != nullptr) {
+          const std::array<Lit, 2> deleted{self, other};
+          traceDeleted(deleted);
+        }
+      }
+    }
+    watches_.shrinkBin(trigger, j);
+  }
+
+  // Recycle the unassigned scope variables. All clauses over them are
+  // gone, so their long watch lists hold only lazily detached watchers
+  // of deleted clauses: drop them eagerly.
+  for (const Var v : candidates) {
+    if (assigns_[v] != lbool::Undef) continue;  // burned (see above)
+    watches_.shrinkLong(posLit(v), 0);
+    watches_.shrinkLong(negLit(v), 0);
+    vardata_[v] = VarData{};
+    decision_[v] = 0;  // out of pickBranchLit until reissued
+    is_activator_[v] = 0;
+    free_vars_.push_back(v);
+    ++stats_.recycled_vars;
+  }
+
+  simp_db_assigns_ = -1;  // force the next simplify to re-sweep
+  garbageCollectIfNeeded();
+}
+
+void Solver::appendScopeAssumptions(std::span<const Lit> userAssumptions) {
+  if (scopes_.empty()) return;
+  if (++assump_epoch_ == 0) {  // epoch wrap: clear stale stamps
+    std::fill(assump_stamp_.begin(), assump_stamp_.end(), 0u);
+    assump_epoch_ = 1;
+  }
+  for (const Lit p : userAssumptions) assump_stamp_[p.var()] = assump_epoch_;
+  for (const auto& [act, rec] : scopes_) {
+    if (assump_stamp_[act] == assump_epoch_) continue;  // caller override
+    assumptions_.push_back(Lit(act, /*negative=*/!rec.enforced));
+  }
 }
 
 bool Solver::addClause(std::span<const Lit> lits) {
@@ -84,7 +279,7 @@ bool Solver::addClause(std::span<const Lit> lits) {
     attachBinary(ps[0], ps[1], /*learnt=*/false);
     return true;
   }
-  const CRef ref = arena_.alloc(ps, /*learnt=*/false);
+  const CRef ref = arena_.alloc(ps, /*learnt=*/false, currentScopeTag());
   clauses_.push_back(ref);
   attachClause(ref);
   return true;
@@ -93,14 +288,13 @@ bool Solver::addClause(std::span<const Lit> lits) {
 void Solver::attachClause(CRef ref) {
   ClauseRefView c = arena_[ref];
   assert(c.size() > 2);
-  watches_.push(~c[0], Watcher{ref, c[1]});
-  watches_.push(~c[1], Watcher{ref, c[0]});
+  watches_.pushLong(~c[0], Watcher{ref, c[1]});
+  watches_.pushLong(~c[1], Watcher{ref, c[0]});
 }
 
 void Solver::attachBinary(Lit a, Lit b, bool learnt) {
-  const std::uint32_t flag = learnt ? 1u : 0u;
-  binwatches_.push(~a, BinWatch{b, flag});
-  binwatches_.push(~b, BinWatch{a, flag});
+  watches_.pushBin(~a, BinWatch(b, learnt));
+  watches_.pushBin(~b, BinWatch(a, learnt));
   if (learnt) {
     ++num_bin_learnt_;
   } else {
@@ -119,7 +313,7 @@ void Solver::removeClause(CRef ref) {
   // A reason clause must not keep dangling references.
   if (locked(ref)) vardata_[c[0].var()].reason = Reason::none();
   if (c.learnt()) --tierGauge(c.tier());
-  arena_.markWasted(c.size(), c.learnt());
+  arena_.markWasted(c.size(), c.learnt(), c.tagged());
   c.markDeleted();
 }
 
@@ -158,19 +352,19 @@ Reason Solver::propagate() {
     // shrinks the long-clause work that follows. ----
     while (bhead < trailSize()) {
       const Lit p = trail_[bhead++];
-      const std::span<const BinWatch> bins = binwatches_.list(p);
+      const std::span<const BinWatch> bins = watches_.binList(p);
       for (std::size_t b = 0; b < bins.size(); ++b) {
-        const BinWatch& bw = bins[b];
-        const lbool v = value(bw.implied);
+        const Lit implied = bins[b].implied();
+        const lbool v = value(implied);
         if (v == lbool::False) {
           stats_.watch_bytes_visited +=
               static_cast<std::int64_t>((b + 1) * sizeof(BinWatch));
-          bin_confl_ = {bw.implied, ~p};
+          bin_confl_ = {implied, ~p};
           qhead_ = trailSize();
           return Reason::binary(~p);
         }
         if (v == lbool::Undef) {
-          uncheckedEnqueue(bw.implied, Reason::binary(~p));
+          uncheckedEnqueue(implied, Reason::binary(~p));
           ++stats_.binary_propagations;
         }
       }
@@ -181,9 +375,9 @@ Reason Solver::propagate() {
     // ---- Phase 2: long clauses over the flat watch pool ----
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
-    const std::uint32_t off = watches_.offsetOf(p);
-    const std::uint32_t n = watches_.sizeOf(p);
-    Watcher* ws = watches_.poolPtrAt(off);
+    const std::uint32_t off = watches_.longOffsetOf(p);
+    const std::uint32_t n = watches_.longSizeOf(p);
+    Watcher* ws = watches_.longPoolPtrAt(off);
     stats_.watch_bytes_visited +=
         static_cast<std::int64_t>(n * sizeof(Watcher));
     std::uint32_t i = 0;
@@ -223,8 +417,8 @@ Reason Solver::propagate() {
         if (value(c[k]) != lbool::False) {
           c[1] = c[k];
           c[k] = falseLit;
-          watches_.push(~c[1], Watcher{w.cref, first});
-          ws = watches_.poolPtrAt(off);  // push may move the pool
+          watches_.pushLong(~c[1], Watcher{w.cref, first});
+          ws = watches_.longPoolPtrAt(off);  // push may move the pool
           foundWatch = true;
           break;
         }
@@ -245,7 +439,7 @@ Reason Solver::propagate() {
         ++stats_.long_propagations;
       }
     }
-    watches_.shrinkList(p, j);
+    watches_.shrinkLong(p, j);
     if (!confl.isNone()) break;
   }
   return confl;
@@ -512,6 +706,16 @@ std::uint32_t Solver::computeLbd(std::span<const Lit> lits) {
   return static_cast<std::uint32_t>(lbd_scratch_.size());
 }
 
+Var Solver::learntTagFor(std::span<const Lit> lits) const {
+  // A learnt descendant of scope clauses carries the scope's guard
+  // literal; tag it with the first live activator found so retire()'s
+  // fast path catches it.
+  for (const Lit p : lits) {
+    if (is_activator_[p.var()] != 0) return p.var();
+  }
+  return kUndefVar;
+}
+
 void Solver::recordLearnt(std::span<const Lit> learntClause) {
   if (learntClause.size() == 1) {
     uncheckedEnqueue(learntClause[0]);
@@ -519,7 +723,8 @@ void Solver::recordLearnt(std::span<const Lit> learntClause) {
     attachBinary(learntClause[0], learntClause[1], /*learnt=*/true);
     uncheckedEnqueue(learntClause[0], Reason::binary(learntClause[1]));
   } else {
-    const CRef ref = arena_.alloc(learntClause, /*learnt=*/true);
+    const Var tag = scopes_.empty() ? kUndefVar : learntTagFor(learntClause);
+    const CRef ref = arena_.alloc(learntClause, /*learnt=*/true, tag);
     ClauseRefView c = arena_[ref];
     const std::uint32_t lbd = computeLbd(learntClause);
     c.setLbd(lbd);
@@ -634,33 +839,33 @@ void Solver::removeSatisfied(std::vector<CRef>& refs) {
 
 void Solver::removeSatisfiedBinaries() {
   assert(decisionLevel() == 0);
-  for (int idx = 0; idx < binwatches_.numLits(); ++idx) {
+  for (int idx = 0; idx < watches_.numLits(); ++idx) {
     const Lit trigger = Lit::fromIndex(idx);
     const Lit a = ~trigger;  // the clause literal watched through `idx`
-    const std::span<BinWatch> ws = binwatches_.list(trigger);
+    const std::span<BinWatch> ws = watches_.binList(trigger);
     std::uint32_t j = 0;
-    for (const BinWatch& bw : ws) {
+    for (const BinWatch bw : ws) {
       const bool sat =
-          value(a) == lbool::True || value(bw.implied) == lbool::True;
+          value(a) == lbool::True || value(bw.implied()) == lbool::True;
       if (!sat) {
         ws[j++] = bw;
         continue;
       }
       // Each binary clause appears once per direction; trace and count
       // it on the canonical (lower-index-first) visit only.
-      if (a.index() < bw.implied.index()) {
-        if (bw.learnt != 0) {
+      if (a.index() < bw.implied().index()) {
+        if (bw.learnt()) {
           --num_bin_learnt_;
         } else {
           --num_bin_orig_;
         }
         if (opts_.tracer != nullptr) {
-          const std::array<Lit, 2> deleted{a, bw.implied};
+          const std::array<Lit, 2> deleted{a, bw.implied()};
           traceDeleted(deleted);
         }
       }
     }
-    binwatches_.shrinkList(trigger, j);
+    watches_.shrinkBin(trigger, j);
   }
 }
 
@@ -698,7 +903,6 @@ void Solver::garbageCollectIfNeeded() {
     // No arena GC: the flat watch pools still defragment on the same
     // trigger points, independent of the arena's waste level.
     watches_.compactIfWasteful();
-    binwatches_.compactIfWasteful();
     return;
   }
   ClauseArena to;
@@ -711,14 +915,14 @@ void Solver::relocAll(ClauseArena& to) {
   // Watchers: drop lazily detached (deleted) clauses, relocate the rest.
   for (int idx = 0; idx < watches_.numLits(); ++idx) {
     const Lit p = Lit::fromIndex(idx);
-    const std::span<Watcher> ws = watches_.list(p);
+    const std::span<Watcher> ws = watches_.longList(p);
     std::uint32_t j = 0;
     for (Watcher w : ws) {
       if (arena_[w.cref].deleted()) continue;
       arena_.reloc(w.cref, to);
       ws[j++] = w;
     }
-    watches_.shrinkList(p, j);
+    watches_.shrinkLong(p, j);
   }
   // Reasons (binary reasons live outside the arena; only clause reasons
   // relocate — and only those still locked are live).
@@ -737,9 +941,8 @@ void Solver::relocAll(ClauseArena& to) {
   // Clause lists.
   for (CRef& ref : learnts_) arena_.reloc(ref, to);
   for (CRef& ref : clauses_) arena_.reloc(ref, to);
-  // GC is also the flat watch pools' compaction hook.
+  // GC is also the watch pools' compaction hook.
   watches_.compact();
-  binwatches_.compactIfWasteful();
 }
 
 bool Solver::withinBudget() const {
@@ -831,6 +1034,13 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   assumptions_.assign(assumptions.begin(), assumptions.end());
   if (!ok_) return lbool::False;
   if (budget_.timeExpired() || !withinBudget()) return lbool::Undef;
+
+  // Every live encoding scope is decided up front: its activator when
+  // enforced, the negation when disabled. This is what keeps physical
+  // retirement sound — scope clauses can never propagate their own
+  // guard, so every learnt descendant carries it (see the file comment
+  // in solver.h).
+  appendScopeAssumptions(assumptions);
 
   if (!simplify()) {
     assumptions_.clear();

@@ -9,21 +9,22 @@
 /// restarts, arena clause storage with copying GC — but the propagation
 /// core is rebuilt around cache-conscious storage:
 ///
-///  * **Flat watch lists.** All long-clause watchers live in one
-///    contiguous pool (FlatOccLists in watches.h) with per-literal
-///    {offset, size, cap} headers instead of a vector-of-vectors: one
-///    fewer indirection per propagated literal, adjacent lists share
-///    cache lines, and GC relocation sweeps the pool linearly. Segment
-///    growth relocates within the pool; the abandoned slack is
+///  * **Flat watch lists.** All watchers live in contiguous pools
+///    (WatchTable in watches.h) with ONE interleaved per-literal header
+///    record carrying both the binary and the long head: one fewer
+///    indirection per propagated literal, both propagation phases share
+///    a header cache line, and GC relocation sweeps the pools linearly.
+///    Segment growth relocates within the pool; the abandoned slack is
 ///    reclaimed by a compaction hooked into the arena-GC path.
 ///
 ///  * **Binary fast path.** Binary clauses never enter the clause
 ///    arena. A clause (a ∨ b) is two BinWatch entries storing the
-///    implied literal inline, so binary propagation is a scan of an
-///    8-byte-entry array with zero clause dereferences. Reasons are a
-///    tagged 32-bit `Reason` (arena CRef or inline "other literal"),
-///    and `analyze`/`analyzeFinal`/`litRedundant` resolve binary
-///    reasons without touching the arena.
+///    implied literal inline (learnt flag packed into the spare low
+///    bit), so binary propagation is a scan of a 4-byte-entry array
+///    with zero clause dereferences. Reasons are a tagged 32-bit
+///    `Reason` (arena CRef or inline "other literal"), and
+///    `analyze`/`analyzeFinal`/`litRedundant` resolve binary reasons
+///    without touching the arena.
 ///
 ///  * **Tiered learnt database.** With Options::lbd_reduce, learnt
 ///    clauses are partitioned Glucose/CaDiCaL-style by LBD into core
@@ -36,13 +37,44 @@
 ///    watchers of deleted clauses are dropped as propagation or GC
 ///    encounters them.
 ///
+/// ## Encoding lifecycle (oracle sessions)
+///
+/// Incremental MaxSAT engines repeatedly emit cardinality structures
+/// and later discard them. The solver supports this as a first-class
+/// *scope* mechanism instead of the classic unit-asserted activator
+/// hack:
+///
+///  * `newActivator()` hands out a guard literal `act` (recycling the
+///    variable of a previously retired scope when possible).
+///  * While a scope is open (`openScope`/`closeScope`), every clause
+///    added is tagged with the activator in its arena header and every
+///    variable created is owned by the scope. Callers (see
+///    ClauseSink in encodings/sink.h) also append `~act` to each
+///    emitted clause, so the constraint is enforced exactly when `act`
+///    holds and every learnt descendant inherits `~act`.
+///  * Every solve automatically assumes each live activator — `act`
+///    when the scope is enforced, `~act` when disabled (call
+///    `setScopeEnforced`). An explicit user assumption over the
+///    activator variable overrides the automatic one. This invariant
+///    is what makes physical deletion sound: scope clauses can never
+///    leak consequences that outlive them, because their guard literal
+///    is always decided before search starts.
+///  * `retire(act)` physically deletes every clause guarded by the
+///    activator — originals via the arena tag, learnt descendants via
+///    the tag plus a literal scan, binaries via the activator's watch
+///    lists — and returns the scope's auxiliary variables (and the
+///    activator itself) to a free list for recycling by newVar(). The
+///    arena space is reclaimed at the next GC; SolverStats records
+///    retired clauses, reclaimed bytes and recycled variables.
+///
 /// Core extraction: solving under assumptions `a1..ak` that turn out to
 /// be inconsistent yields, via final-conflict analysis, a subset of the
 /// assumptions whose conjunction with the clause database is
 /// unsatisfiable (`core()`). MaxSAT engines attach one selector literal
 /// per tracked soft clause and read cores off that set, which is the
 /// modern equivalent of the MiniSat 1.14 resolution-based core extractor
-/// used in the paper.
+/// used in the paper. Cores may name auto-assumed activators; engines
+/// map cores through selector tables and ignore the rest.
 
 #pragma once
 
@@ -92,10 +124,12 @@ class Solver {
 
   // ---- Problem construction -------------------------------------------
 
-  /// Creates a fresh variable and returns it.
-  Var newVar(bool decisionVar = true);
+  /// Creates a variable and returns it, recycling one retired with a
+  /// scope when available. While a scope is open the variable is owned
+  /// by it (recycled at retire) unless `scoped` is false.
+  Var newVar(bool decisionVar = true, bool scoped = true);
 
-  /// Number of variables created.
+  /// Number of variable slots created (recycled or not).
   [[nodiscard]] int numVars() const {
     return static_cast<int>(assigns_.size());
   }
@@ -114,6 +148,8 @@ class Solver {
   /// Adds a clause. Returns false iff the clause database is now known
   /// unsatisfiable at level 0 (the solver becomes permanently "not okay").
   /// All referenced variables must have been created with newVar().
+  /// While a scope is open the clause is tagged with its activator
+  /// (callers append the guard literal; see ClauseSink).
   bool addClause(std::span<const Lit> lits);
   bool addClause(std::initializer_list<Lit> lits) {
     return addClause(std::span<const Lit>(lits.begin(), lits.size()));
@@ -121,6 +157,39 @@ class Solver {
 
   /// False iff unsatisfiability was already established at level 0.
   [[nodiscard]] bool okay() const { return ok_; }
+
+  // ---- Encoding lifecycle (see the file comment) -----------------------
+
+  /// Creates a fresh activator literal for a new encoding scope. The
+  /// variable is non-decision and starts enforced (auto-assumed true).
+  [[nodiscard]] Lit newActivator();
+
+  /// Directs subsequent newVar()/addClause() ownership to `activator`'s
+  /// scope. Scopes nest; close in LIFO order.
+  void openScope(Lit activator);
+  void closeScope(Lit activator);
+
+  /// Chooses the automatic assumption polarity of a live scope:
+  /// enforced scopes assume the activator (constraint active), disabled
+  /// scopes assume its negation (constraint inert, clauses satisfied).
+  void setScopeEnforced(Lit activator, bool enforced);
+
+  /// True iff `activator` names a scope that has not been retired.
+  [[nodiscard]] bool isLiveScope(Lit activator) const;
+
+  /// Number of live (unretired) scopes.
+  [[nodiscard]] int numLiveScopes() const {
+    return static_cast<int>(scopes_.size());
+  }
+
+  /// Physically deletes every clause of the scope (originals, learnt
+  /// descendants and binaries) and recycles its variables. Must be
+  /// called outside search (decision level 0) with the scope closed.
+  /// The freed arena words are reclaimed at the next GC.
+  void retire(Lit activator) { retireAll({&activator, 1}); }
+
+  /// Batch retirement: one database sweep for many scopes.
+  void retireAll(std::span<const Lit> activators);
 
   // ---- Solving ---------------------------------------------------------
 
@@ -134,6 +203,8 @@ class Solver {
   ///    them that is jointly inconsistent with the clause database
   ///    (possibly empty when the database itself is unsatisfiable).
   ///  * Undef: budget exhausted.
+  /// Live scope activators are assumed automatically unless the caller
+  /// assumes their variable explicitly.
   [[nodiscard]] lbool solve(std::span<const Lit> assumptions);
 
   /// Model from the last satisfiable solve (indexed by variable).
@@ -145,7 +216,8 @@ class Solver {
   }
 
   /// Failing assumption subset from the last unsatisfiable solve-under-
-  /// assumptions (in the polarity the caller passed them).
+  /// assumptions (in the polarity the caller passed them). May include
+  /// auto-assumed scope activators.
   [[nodiscard]] const std::vector<Lit>& core() const { return core_; }
 
   // ---- Budgets & statistics ---------------------------------------------
@@ -178,10 +250,21 @@ class Solver {
   /// Number of level-0 assigned literals (after simplification).
   [[nodiscard]] int numFixedVars() const;
 
+  /// Variables currently available for recycling.
+  [[nodiscard]] int numFreeVars() const {
+    return static_cast<int>(free_vars_.size());
+  }
+
  private:
   struct VarData {
     Reason reason = Reason::none();
     int level = 0;
+  };
+
+  /// Bookkeeping of one live encoding scope.
+  struct ScopeRec {
+    std::vector<Var> vars;  ///< auxiliary variables owned by the scope
+    bool enforced = true;   ///< auto-assume activator vs. its negation
   };
 
   // Learnt-DB tiers (stored in the clause header's tier bits).
@@ -191,8 +274,7 @@ class Solver {
 
   // Construction helpers. There is no eager detach: removeClause()
   // marks the clause deleted and its watchers are dropped lazily by
-  // propagate() and the GC sweep (swap-with-back removal lives in
-  // FlatOccLists::removeOne for callers that need it).
+  // propagate() and the GC sweep.
   void attachClause(CRef ref);
   void attachBinary(Lit a, Lit b, bool learnt);
   void removeClause(CRef ref);
@@ -220,6 +302,14 @@ class Solver {
   void rebuildOrderHeap();
   void garbageCollectIfNeeded();
   void relocAll(ClauseArena& to);
+
+  // Lifecycle helpers.
+  [[nodiscard]] Var currentScopeTag() const {
+    return scope_stack_.empty() ? kUndefVar : scope_stack_.back();
+  }
+  [[nodiscard]] Var learntTagFor(std::span<const Lit> lits) const;
+  void appendScopeAssumptions(std::span<const Lit> userAssumptions);
+  void recycleVar(Var v);
 
   [[nodiscard]] bool locked(CRef ref) const;
   [[nodiscard]] int level(Var v) const { return vardata_[v].level; }
@@ -250,16 +340,17 @@ class Solver {
 
   Options opts_;
 
-  // Clause storage and lists (binary clauses live only in binwatches_).
+  // Clause storage and lists (binary clauses live only in the watch
+  // table's binary pool).
   ClauseArena arena_;
   std::vector<CRef> clauses_;
   std::vector<CRef> learnts_;
   int num_bin_orig_ = 0;
   int num_bin_learnt_ = 0;
 
-  // Watches: flat pools indexed by Lit::index() of the falsified watch.
-  FlatOccLists<Watcher> watches_;
-  FlatOccLists<BinWatch> binwatches_;
+  // Watches: binary + long pools behind one interleaved header table,
+  // indexed by Lit::index() of the falsified watch.
+  WatchTable watches_;
 
   // Per-variable state.
   std::vector<lbool> assigns_;
@@ -268,6 +359,18 @@ class Solver {
   std::vector<char> decision_;  // eligible as decision variable
   std::vector<double> activity_;
   std::vector<char> seen_;
+
+  // Encoding-lifecycle state. scope_index_ maps an activator variable
+  // to its slot in scopes_ (-1 otherwise), so ownership attribution,
+  // enforcement flips and retirement are O(1) per scope even when
+  // thousands of scopes are live (msu1/wmsu1 keep one per soft clause).
+  std::vector<char> is_activator_;     // per var: 1 = live scope guard
+  std::vector<int> scope_index_;       // per var: slot in scopes_ or -1
+  std::vector<Var> scope_stack_;       // open scopes, innermost last
+  std::vector<Var> free_vars_;         // recycled variable pool
+  std::vector<std::pair<Var, ScopeRec>> scopes_;  // live scopes
+  std::vector<std::uint32_t> assump_stamp_;  // per var: last-solve marker
+  std::uint32_t assump_epoch_ = 0;
 
   // Trail.
   std::vector<Lit> trail_;

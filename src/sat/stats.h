@@ -30,7 +30,11 @@ namespace msu {
   X(demoted_clauses)               \
   X(tier_core)                     \
   X(tier_tier2)                    \
-  X(tier_local)
+  X(tier_local)                    \
+  X(retired_scopes)                \
+  X(retired_clauses)               \
+  X(reclaimed_bytes)               \
+  X(recycled_vars)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -59,6 +63,12 @@ struct SolverStats {
   std::int64_t tier_core = 0;         ///< gauge: learnt clauses in core
   std::int64_t tier_tier2 = 0;        ///< gauge: learnt clauses in tier2
   std::int64_t tier_local = 0;        ///< gauge: learnt clauses in local
+
+  // Encoding-lifecycle accounting (Solver::retire).
+  std::int64_t retired_scopes = 0;   ///< retire() calls that found a scope
+  std::int64_t retired_clauses = 0;  ///< clauses deleted by retirement
+  std::int64_t reclaimed_bytes = 0;  ///< clause-storage bytes freed by retire
+  std::int64_t recycled_vars = 0;    ///< variables returned to the free list
 
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.
