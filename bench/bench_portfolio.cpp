@@ -1,0 +1,186 @@
+/// \file bench_portfolio.cpp
+/// \brief Wall-clock benchmark of the parallel portfolio (src/par):
+///        each instance is solved by the same portfolio configuration
+///        (base engine msu4-v2 plus the default diversified cycle,
+///        clause sharing on) at 1, 2 and 4 workers, and the driver
+///        reports per-instance speedups plus the 1→4-thread geomean.
+///
+/// Usage: bench_portfolio [--reps N] [--json [path]]
+///
+///   --json   write bench/BENCH_portfolio.json (per-(instance,threads)
+///            wall time, winner worker/engine and sharing counters)
+///
+/// The suite mixes instances where the base engine is already the right
+/// choice (bmc — the portfolio's thread tax shows up honestly) with the
+/// cases a portfolio exists for: weighted max-cut (duplication-based
+/// msu4 struggles; oll and branch-and-bound finish in milliseconds) and
+/// near-threshold random MaxSAT (branch-and-bound wins). All thread
+/// counts must report the same optimum — the driver aborts otherwise.
+///
+/// NOTE on reading the numbers: wall-time speedups here are measured on
+/// whatever machine runs the bench; on a single-core container the
+/// 4-thread run pays ~4x time-slicing for each racer, so any speedup
+/// >= 1 means the portfolio's diversification won by more than the
+/// core it gave up.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "gen/bmc.h"
+#include "gen/graphs.h"
+#include "gen/random_cnf.h"
+#include "par/portfolio.h"
+
+namespace {
+
+using namespace msu;
+
+struct Case {
+  std::string name;
+  WcnfFormula wcnf;
+};
+
+std::vector<Case> buildCases() {
+  std::vector<Case> cases;
+  // Weighted max-cut: the portfolio's showcase (oll / maxsatz finish
+  // orders of magnitude before duplication-based msu4).
+  for (const int n : {14, 16, 18}) {
+    const Graph g = randomGraph(n, 0.45, 100 + static_cast<std::uint64_t>(n));
+    std::mt19937_64 wrng(200 + static_cast<std::uint64_t>(n));
+    std::vector<Weight> weights;
+    weights.reserve(g.edges.size());
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      weights.push_back(1 + static_cast<Weight>(wrng() % 9));
+    }
+    cases.push_back({"wmaxcut-" + std::to_string(n),
+                     maxCutInstance(g, weights)});
+  }
+  // Near-threshold random MaxSAT: branch-and-bound territory.
+  cases.push_back({"rnd3sat-40",
+                   WcnfFormula::allSoft(randomUnsat3Sat(40, 5.6, 7))});
+  cases.push_back({"rnd3sat-44",
+                   WcnfFormula::allSoft(randomUnsat3Sat(44, 5.6, 7))});
+  cases.push_back({"rnd3sat-40d",
+                   WcnfFormula::allSoft(randomUnsat3Sat(40, 6.0, 3))});
+  // Control: the base engine is already the best choice here, so these
+  // charge the portfolio its full thread tax.
+  cases.push_back({"bmc-8-16", WcnfFormula::allSoft(bmcCounterInstance(
+                                   {.bits = 8, .steps = 16}))});
+  cases.push_back({"bmc-7-14", WcnfFormula::allSoft(bmcCounterInstance(
+                                   {.bits = 7, .steps = 14}))});
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 1;
+  bool writeJson = false;
+  std::string jsonPath = "bench/BENCH_portfolio.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      writeJson = true;
+      if (i + 1 < argc &&
+          std::string(argv[i + 1]).find(".json") != std::string::npos) {
+        jsonPath = argv[++i];
+      }
+    } else {
+      std::cerr << "usage: bench_portfolio [--reps N] [--json [path]]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Case> cases = buildCases();
+  const std::vector<int> threadCounts{1, 2, 4};
+  std::vector<benchjson::BenchRecord> records;
+  std::vector<double> speedups;  // t1 / t4 per instance
+
+  std::cout << std::left << std::setw(14) << "instance" << std::right
+            << std::setw(10) << "t1 ms" << std::setw(10) << "t2 ms"
+            << std::setw(10) << "t4 ms" << std::setw(9) << "t1/t4"
+            << "  winner(t4)\n";
+
+  for (const Case& c : cases) {
+    double wall[3] = {0, 0, 0};
+    std::string winner = "-";
+    Weight cost = -1;
+    for (std::size_t ti = 0; ti < threadCounts.size(); ++ti) {
+      PortfolioOptions po;
+      po.threads = threadCounts[ti];
+      po.base.budget = Budget::wallClock(300.0);
+      PortfolioSolver solver(po);
+      double best = 0.0;
+      MaxSatResult r;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        r = solver.solve(c.wcnf);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (rep == 0 || ms < best) best = ms;
+      }
+      wall[ti] = best;
+      if (r.status != MaxSatStatus::Optimum) {
+        std::cerr << c.name << " t" << threadCounts[ti]
+                  << ": no optimum within budget\n";
+        return 1;
+      }
+      if (cost < 0) cost = r.cost;
+      if (r.cost != cost) {
+        std::cerr << c.name << ": thread counts disagree on the optimum ("
+                  << cost << " vs " << r.cost << " at t"
+                  << threadCounts[ti] << ")\n";
+        return 1;
+      }
+      if (threadCounts[ti] == 4) {
+        winner = solver.lastWinnerEngine() + "#" +
+                 std::to_string(solver.lastWinner());
+      }
+      benchjson::BenchRecord rec;
+      rec.name = c.name + "-t" + std::to_string(threadCounts[ti]);
+      rec.wallMs = best;
+      rec.reps = reps;
+      rec.counters.emplace_back("threads", threadCounts[ti]);
+      rec.counters.emplace_back("cost", cost);
+      rec.counters.emplace_back("sat_calls", r.satCalls);
+      rec.counters.emplace_back("winner", solver.lastWinner());
+      rec.counters.emplace_back("shared_exported",
+                                r.satStats.shared_exported);
+      rec.counters.emplace_back("shared_imported",
+                                r.satStats.shared_imported);
+      records.push_back(std::move(rec));
+    }
+    // Clamp sub-resolution timings so a 0 ms sample cannot drive the
+    // geomean's log to -inf.
+    const double speedup =
+        std::max(wall[0], 0.01) / std::max(wall[2], 0.01);
+    speedups.push_back(speedup);
+    std::cout << std::left << std::setw(14) << c.name << std::right
+              << std::fixed << std::setprecision(1) << std::setw(10)
+              << wall[0] << std::setw(10) << wall[1] << std::setw(10)
+              << wall[2] << std::setw(9) << std::setprecision(2) << speedup
+              << "  " << winner << "\n";
+  }
+
+  double logSum = 0.0;
+  for (const double s : speedups) logSum += std::log(s);
+  const double geomean = std::exp(logSum / static_cast<double>(speedups.size()));
+  std::cout << "\ngeomean wall-time speedup (1 -> 4 workers): " << std::fixed
+            << std::setprecision(2) << geomean << "x\n";
+
+  if (writeJson && !benchjson::writeJsonFile(jsonPath, "portfolio", records)) {
+    return 1;
+  }
+  return 0;
+}

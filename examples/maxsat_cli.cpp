@@ -7,6 +7,9 @@
 /// Usage:
 ///   maxsat_cli [options] [file.wcnf|file.cnf|-]
 ///     --algo NAME       engine (default msu4-v2); see --list
+///     --threads N       parallel portfolio of N workers racing the
+///                       chosen engine plus diversified alternatives,
+///                       with learnt-clause sharing (default 1)
 ///     --timeout SECONDS wall-clock budget (default: none)
 ///     --stats           print iteration/conflict statistics
 ///     --no-model        suppress the v line
@@ -21,13 +24,15 @@
 #include "core/preprocess.h"
 #include "harness/factory.h"
 #include "harness/tables.h"
+#include "par/portfolio.h"
 
 namespace {
 
 void usage() {
   std::cout <<
-      "usage: maxsat_cli [--algo NAME] [--timeout SEC] [--stats]\n"
-      "                  [--preprocess] [--no-model] [--list] [file.wcnf|-]\n";
+      "usage: maxsat_cli [--algo NAME] [--threads N] [--timeout SEC]\n"
+      "                  [--stats] [--preprocess] [--no-model] [--list]\n"
+      "                  [file.wcnf|-]\n";
 }
 
 }  // namespace
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   using namespace msu;
 
   std::string algo = "msu4-v2";
+  int threads = 1;
   double timeout = 0.0;
   bool stats = false;
   bool preprocess = false;
@@ -46,6 +52,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--algo" && i + 1 < argc) {
       algo = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::cerr << "c --threads wants a positive count\n";
+        return 2;
+      }
     } else if (arg == "--timeout" && i + 1 < argc) {
       timeout = std::atof(argv[++i]);
     } else if (arg == "--stats") {
@@ -103,7 +115,35 @@ int main(int argc, char** argv) {
 
   MaxSatOptions opts;
   if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
-  std::unique_ptr<MaxSatSolver> solver = makeSolver(algo, opts);
+  std::unique_ptr<MaxSatSolver> solver;
+  PortfolioSolver* portfolio = nullptr;
+  if (threads > 1 && algo.rfind("portfolio", 0) == 0) {
+    std::cerr << "c note: --threads is ignored for --algo " << algo
+              << " (the name fixes the worker count)\n";
+  }
+  if (threads > 1 && algo.rfind("portfolio", 0) != 0) {
+    // Race the requested engine (worker 0, base configuration) against
+    // diversified alternatives, sharing learnt clauses. Validate the
+    // name here: PortfolioSolver silently drops unbuildable engines.
+    bool known = false;
+    for (const std::string& name : solverNames()) known |= (name == algo);
+    if (!known) {
+      std::cerr << "c unknown engine '" << algo << "' (see --list)\n";
+      return 2;
+    }
+    PortfolioOptions po;
+    po.base = opts;
+    po.threads = threads;
+    po.engines.push_back(algo);
+    for (const std::string& e : PortfolioSolver::defaultEngines()) {
+      if (e != algo) po.engines.push_back(e);
+    }
+    auto p = std::make_unique<PortfolioSolver>(po);
+    portfolio = p.get();
+    solver = std::move(p);
+  } else {
+    solver = makeSolver(algo, opts);
+  }
   if (!solver) {
     std::cerr << "c unknown engine '" << algo << "' (see --list)\n";
     return 2;
@@ -111,6 +151,10 @@ int main(int argc, char** argv) {
   std::cout << "c engine: " << solver->name() << "\n";
 
   MaxSatResult result = solver->solve(instance);
+  if (portfolio != nullptr && portfolio->lastWinner() >= 0) {
+    std::cout << "c portfolio winner: worker " << portfolio->lastWinner()
+              << " (" << portfolio->lastWinnerEngine() << ")\n";
+  }
 
   // Splice hard-forced values back into the model after preprocessing.
   if (preprocess && result.status == MaxSatStatus::Optimum) {

@@ -6,9 +6,9 @@
 namespace msu {
 
 void IncrementalAtMost::retireCurrent(ClauseSink& sink) {
-  if (scope_ == kUndefLit) return;
+  if (!scope_.defined()) return;
   sink.retireScope(scope_);
-  scope_ = kUndefLit;
+  scope_ = ScopeHandle{};
   scope_bound_ = -1;
   scope_enforced_ = true;
   covered_.clear();
@@ -42,20 +42,31 @@ void IncrementalAtMost::assertAtMost(ClauseSink& sink,
   assert(lits.size() >= covered_.size());
 
   if (reuse_ && enc_ == CardEncoding::Totalizer) {
-    // Permanent incremental structure, permanent (monotone) bound units.
+    // Permanent incremental structure; the monotone bound units live in
+    // a permanent scope of their own rather than as raw units. The
+    // scope is never retired and stays enforced, so the bounds behave
+    // as before — but being guarded, the units are restrictions the
+    // solver can tell apart from hard-clause consequences, which keeps
+    // learnt-clause sharing sound (see sat/share.h).
     coverWithTotalizer(sink, lits);
+    if (!unit_scope_.defined()) {
+      unit_scope_ = sink.beginScope();
+    } else {
+      sink.reopenScope(unit_scope_);
+    }
     if (k < 0) {
       sink.addClause(std::initializer_list<Lit>{});
-      return;
+    } else {
+      sink.addClause({~totalizer_->outputs()[static_cast<std::size_t>(k)]});
     }
-    sink.addClause({~totalizer_->outputs()[static_cast<std::size_t>(k)]});
+    sink.endScope(unit_scope_);
     return;
   }
 
   if (reuse_ && enc_ == CardEncoding::Sorter) {
     // One network per literal set, wrapped in a scope together with its
     // bound units; growth retires the stale network wholesale.
-    if (scope_ == kUndefLit || lits != covered_) {
+    if (!scope_.defined() || lits != covered_) {
       retireCurrent(sink);
       scope_ = sink.beginScope();
       outputs_ = buildSortingNetwork(sink, lits);
@@ -89,7 +100,7 @@ std::optional<Lit> IncrementalAtMost::assumeAtMost(
   const int n = static_cast<int>(lits.size());
   if (k >= n) {
     // Trivial bound: nothing to assume; park the live scope.
-    if (scope_ != kUndefLit && scope_enforced_) {
+    if (scope_.defined() && scope_enforced_) {
       sink.setScopeEnforced(scope_, false);
       scope_enforced_ = false;
     }
@@ -103,7 +114,7 @@ std::optional<Lit> IncrementalAtMost::assumeAtMost(
   }
 
   if (enc_ == CardEncoding::Sorter) {
-    if (scope_ == kUndefLit || lits != covered_) {
+    if (!scope_.defined() || lits != covered_) {
       retireCurrent(sink);
       scope_ = sink.beginScope();
       outputs_ = buildSortingNetwork(sink, lits);
@@ -120,7 +131,7 @@ std::optional<Lit> IncrementalAtMost::assumeAtMost(
   // Bound-specific encodings (Bdd/Sequential/...): one scope per
   // (set, bound); any change retires the predecessor. Enforcement rides
   // on the auto-assumed activator, so there is nothing extra to assume.
-  if (scope_ == kUndefLit || lits != covered_ || k != scope_bound_) {
+  if (!scope_.defined() || lits != covered_ || k != scope_bound_) {
     retireCurrent(sink);
     scope_ = sink.beginScope();
     encodeAtMost(sink, lits, k, enc_);
@@ -144,7 +155,7 @@ AssumableAtMost::AssumableAtMost(ClauseSink& sink, std::vector<Lit> lits,
     Totalizer tot(sink, lits_);
     outputs_ = tot.outputs();
   }
-  scopes_.assign(lits_.size() + 1, kUndefLit);
+  scopes_.assign(lits_.size() + 1, ScopeHandle{});
 }
 
 std::optional<Lit> AssumableAtMost::boundLit(int k) {
@@ -154,12 +165,12 @@ std::optional<Lit> AssumableAtMost::boundLit(int k) {
   if (enc_ == CardEncoding::Sorter || enc_ == CardEncoding::Totalizer) {
     return ~outputs_[static_cast<std::size_t>(k)];
   }
-  Lit& act = scopes_[static_cast<std::size_t>(k)];
-  if (act == kUndefLit) {
+  ScopeHandle& scope = scopes_[static_cast<std::size_t>(k)];
+  if (!scope.defined()) {
     // Build the bound in its own *disabled* scope: the activator is the
     // assumption handle (assuming it overrides the automatic negative
     // assumption), and retirement is one retireScope away.
-    act = sink_->beginScope();
+    scope = sink_->beginScope();
     if (enc_ == CardEncoding::Bdd) {
       // The BDD root is a biconditional for the constraint; asserting
       // it under the scope guard yields act -> constraint.
@@ -168,19 +179,21 @@ std::optional<Lit> AssumableAtMost::boundLit(int k) {
     } else {
       encodeAtMost(*sink_, lits_, k, enc_);
     }
-    sink_->endScope(act);
-    sink_->setScopeEnforced(act, false);
+    sink_->endScope(scope);
+    sink_->setScopeEnforced(scope, false);
   }
-  return act;
+  // The scope's activator doubles as the assumption literal — an
+  // explicit handle-to-literal escape.
+  return scope.activator();
 }
 
 void AssumableAtMost::pruneOutside(int lo, int hi) {
   for (int k = 0; k < static_cast<int>(scopes_.size()); ++k) {
     if (k >= lo && k < hi) continue;
-    Lit& act = scopes_[static_cast<std::size_t>(k)];
-    if (act == kUndefLit) continue;
-    sink_->retireScope(act);
-    act = kUndefLit;
+    ScopeHandle& scope = scopes_[static_cast<std::size_t>(k)];
+    if (!scope.defined()) continue;
+    sink_->retireScope(scope);
+    scope = ScopeHandle{};
   }
 }
 

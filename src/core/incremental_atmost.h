@@ -37,6 +37,12 @@ class IncrementalAtMost {
   /// Adds clauses enforcing `sum(lits) <= k` from now on. `lits` must
   /// contain every literal passed in earlier calls (append-only
   /// growth), and for scoped encodings the bound must not loosen.
+  ///
+  /// Bound restrictions are never emitted as raw (unguarded) clauses:
+  /// even the incremental totalizer's monotone bound units live in a
+  /// scope of their own (permanent, always enforced). This keeps every
+  /// non-consequence clause guarded, which is what makes the parallel
+  /// portfolio's learnt-clause export filter sound — see sat/share.h.
   void assertAtMost(ClauseSink& sink, const std::vector<Lit>& lits, int k);
 
   /// Makes `sum(lits) <= k` hold for the next solve(s): re-encodes (and
@@ -63,7 +69,8 @@ class IncrementalAtMost {
   std::vector<Lit> covered_;            // literal set of the cached structure
   std::vector<Lit> outputs_;            // sorter outputs (scoped)
   std::optional<Totalizer> totalizer_;  // unscoped incremental totalizer
-  Lit scope_ = kUndefLit;               // live scope activator
+  ScopeHandle scope_;                   // live structure scope
+  ScopeHandle unit_scope_;    // permanent scope for totalizer bound units
   int scope_bound_ = -1;      // bound baked into a per-(set,k) scope
   bool scope_enforced_ = true;
 };
@@ -92,8 +99,8 @@ class AssumableAtMost {
   ClauseSink* sink_;
   std::vector<Lit> lits_;
   CardEncoding enc_;
-  std::vector<Lit> outputs_;  // Sorter/Totalizer: shared outputs
-  std::vector<Lit> scopes_;   // per-k scope activator (kUndefLit none)
+  std::vector<Lit> outputs_;         // Sorter/Totalizer: shared outputs
+  std::vector<ScopeHandle> scopes_;  // per-k bound scope (undefined = none)
 };
 
 }  // namespace msu

@@ -30,15 +30,15 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
   // selector variable — the modern form of Fu–Malik's unit-asserted
   // selectors.
   std::vector<Clause> lits(static_cast<std::size_t>(m));
-  std::vector<Lit> version(static_cast<std::size_t>(m));
+  std::vector<ScopeHandle> version(static_cast<std::size_t>(m));
   std::unordered_map<Var, int> activatorToSoft;
 
   auto installVersion = [&](int i) {
-    const Lit act = session.beginScope();
+    const ScopeHandle act = session.beginScope();
     session.sink().addClause(lits[static_cast<std::size_t>(i)]);
     session.endScope(act);
     version[static_cast<std::size_t>(i)] = act;
-    activatorToSoft[act.var()] = i;
+    activatorToSoft[act.activator().var()] = i;
   };
 
   for (int i = 0; i < m; ++i) {
@@ -98,13 +98,13 @@ MaxSatResult Msu1Solver::solve(const WcnfFormula& input) {
     // Fu-Malik relaxation: fresh blocking variable per core clause,
     // exactly one of them true. The old versions are retired in one
     // batch sweep — clauses deleted, selector variables recycled.
-    std::vector<Lit> retired;
+    std::vector<ScopeHandle> retired;
     std::vector<Lit> freshBlocking;
     retired.reserve(coreSoft.size());
     freshBlocking.reserve(coreSoft.size());
     for (int i : coreSoft) {
-      const Lit oldVersion = version[static_cast<std::size_t>(i)];
-      activatorToSoft.erase(oldVersion.var());
+      const ScopeHandle oldVersion = version[static_cast<std::size_t>(i)];
+      activatorToSoft.erase(oldVersion.activator().var());
       retired.push_back(oldVersion);
       const Lit b = posLit(session.sat().newVar());
       lits[static_cast<std::size_t>(i)].push_back(b);

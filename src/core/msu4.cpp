@@ -101,8 +101,7 @@ MaxSatResult Msu4Solver::solve(const WcnfFormula& input) {
     if (opts_.trimCoreRounds > 0 && coreLits.size() > 1) {
       CoreTrimOptions trimOpts;
       trimOpts.trimRounds = opts_.trimCoreRounds;
-      coreLits = trimCore(session.sat(), std::move(coreLits), trimOpts);
-      session.addExtraSatCalls(opts_.trimCoreRounds);
+      coreLits = session.trimCore(std::move(coreLits), trimOpts);
     }
     const std::vector<int> coreSoft = tracker.coreSoftIndices(coreLits);
     if (coreSoft.empty()) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "core/core_trim.h"
 #include "core/oracle_session.h"
@@ -43,17 +44,28 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
   // off (no successor bound remains), the whole structure is vacuous
   // and its scope is physically retired — clauses deleted, counting
   // variables recycled.
+  //
+  // Cores may name the sum assumptions of earlier totalizers, so a new
+  // totalizer can *count the outputs* of older ones. Such a dependency
+  // pins the older structure: retiring it early would let the retire()
+  // literal scan delete the dependent's counting clauses (the scope
+  // contract's cross-scope safety net acting as a wrecking ball).
+  // Retirement therefore waits until a structure is both vacuous and
+  // unpinned, cascading to its dependencies.
   struct SumRef {
     int totalizer = -1;
     int bound = 0;
   };
   struct TotRec {
     std::unique_ptr<Totalizer> tot;
-    Lit scope = kUndefLit;
+    ScopeHandle scope;
     int activeSums = 0;
+    int pins = 0;           // live dependents counting our outputs
+    std::vector<int> deps;  // totalizer ids our inputs reference
   };
   std::vector<TotRec> totalizers;
   std::map<Lit, SumRef> sums;
+  std::unordered_map<Var, int> outputOwner;  // totalizer output var -> id
 
   Weight lower = 0;
 
@@ -84,14 +96,17 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
 
     if (st == lbool::True) {
       // All residual softs satisfied: the model's cost equals the
-      // charged lower bound, which is the optimum.
+      // charged lower bound, which is the optimum. The equality is the
+      // exactness of the RC2-style charge bookkeeping — if it ever
+      // drifts, the accounting is undercounting and the "optimum" would
+      // be wrong, so fail loudly in debug builds.
       Assignment model(static_cast<std::size_t>(formula.numVars()));
       for (Var v = 0; v < formula.numVars(); ++v) {
         model[static_cast<std::size_t>(v)] =
             session.sat().model()[static_cast<std::size_t>(v)];
       }
       const std::optional<Weight> cost = formula.cost(model);
-      assert(cost.has_value());
+      assert(cost.has_value() && *cost == lower);
       return finish(MaxSatStatus::Optimum, cost.value_or(lower),
                     std::move(model));
     }
@@ -106,8 +121,7 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
     if (opts_.trimCoreRounds > 0 && core.size() > 1) {
       CoreTrimOptions trimOpts;
       trimOpts.trimRounds = opts_.trimCoreRounds;
-      core = trimCore(session.sat(), std::move(core), trimOpts);
-      session.addExtraSatCalls(opts_.trimCoreRounds);
+      core = session.trimCore(std::move(core), trimOpts);
       std::erase_if(core, [&](Lit p) { return !active.contains(p); });
       if (core.empty()) return finish(MaxSatStatus::UnsatisfiableHard, 0, {});
     }
@@ -122,9 +136,13 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
     notifyBounds();
 
     // Charge every member; deactivate the fully paid ones. For soft
-    // cardinality members, lazily extend the bound: everything a
-    // violation beyond `bound+1` costs is carried by the successor
-    // assumption (weight accumulates if it is already active).
+    // cardinality members, push this core's charge onto the *successor*
+    // bound on every occurrence (RC2-style), fully paid or not: a
+    // totalizer may carry several active bounds with split weights.
+    // Only charging the successor on full payment would leak charge
+    // mass on partial payments, leaving the assumption set too weak —
+    // the search then accepts a suboptimal model as "optimal" (its
+    // cost exceeding the proven lower bound).
     std::vector<int> touched;  // totalizers whose sums changed
     for (const Lit a : core) {
       auto it = active.find(a);
@@ -136,10 +154,11 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
       if (sumIt == sums.end()) continue;
       const SumRef ref = sumIt->second;
       TotRec& rec = totalizers[static_cast<std::size_t>(ref.totalizer)];
-      if (!paid) continue;
-      sums.erase(sumIt);
-      --rec.activeSums;
       touched.push_back(ref.totalizer);
+      if (paid) {
+        sums.erase(sumIt);
+        --rec.activeSums;
+      }
       const int nextBound = ref.bound + 1;
       if (nextBound >= rec.tot->numInputs()) continue;  // "<= k" is vacuous
       const Lit next =
@@ -158,26 +177,52 @@ MaxSatResult OllSolver::solve(const WcnfFormula& formula) {
       violated.reserve(core.size());
       for (const Lit a : core) violated.push_back(~a);
       TotRec rec;
+      const int id = static_cast<int>(totalizers.size());
+      // Inputs that are outputs of earlier totalizers pin those
+      // structures until this one retires.
+      for (const Lit a : core) {
+        const auto ownerIt = outputOwner.find(a.var());
+        if (ownerIt == outputOwner.end()) continue;
+        if (std::find(rec.deps.begin(), rec.deps.end(), ownerIt->second) !=
+            rec.deps.end()) {
+          continue;
+        }
+        rec.deps.push_back(ownerIt->second);
+        ++totalizers[static_cast<std::size_t>(ownerIt->second)].pins;
+      }
       rec.scope = session.beginScope();
       rec.tot = std::make_unique<Totalizer>(session.sink(), violated,
                                             /*bothPolarities=*/false);
       session.endScope(rec.scope);
+      for (const Lit o : rec.tot->outputs()) outputOwner[o.var()] = id;
       const Lit slit = ~rec.tot->outputs()[1];
       active[slit] += wmin;
-      sums.emplace(slit, SumRef{static_cast<int>(totalizers.size()), 1});
+      sums.emplace(slit, SumRef{id, 1});
       rec.activeSums = 1;
       totalizers.push_back(std::move(rec));
     }
 
-    // Retire totalizers whose every bound has been charged: their
-    // constraint no longer backs any assumption, so the clauses and
-    // counting variables are reclaimed wholesale.
-    for (const int id : touched) {
+    // Retire totalizers whose every bound has been charged *and* that
+    // no live successor counts: their constraint no longer backs any
+    // assumption, so the clauses and counting variables are reclaimed
+    // wholesale. Retiring a dependent unpins its dependencies, which
+    // may cascade.
+    std::vector<int> retireWork = touched;
+    while (!retireWork.empty()) {
+      const int id = retireWork.back();
+      retireWork.pop_back();
       TotRec& rec = totalizers[static_cast<std::size_t>(id)];
-      if (rec.activeSums > 0 || rec.scope == kUndefLit) continue;
+      if (rec.activeSums > 0 || rec.pins > 0 || !rec.scope.defined()) {
+        continue;
+      }
       session.retire(rec.scope);
-      rec.scope = kUndefLit;
+      rec.scope = ScopeHandle{};
       rec.tot.reset();
+      for (const int dep : rec.deps) {
+        --totalizers[static_cast<std::size_t>(dep)].pins;
+        retireWork.push_back(dep);
+      }
+      rec.deps.clear();
     }
   }
 }

@@ -20,7 +20,9 @@
 #include <cassert>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "core/core_trim.h"
 #include "core/maxsat.h"
 #include "core/soft_tracker.h"
 #include "encodings/sink.h"
@@ -74,14 +76,19 @@ class OracleSession {
 
   // ---- Scopes ----------------------------------------------------------
 
-  [[nodiscard]] Lit beginScope() { return sink_.beginScope(); }
-  void endScope(Lit activator) { sink_.endScope(activator); }
-  void setEnforced(Lit activator, bool on) {
-    sink_.setScopeEnforced(activator, on);
+  [[nodiscard]] ScopeHandle beginScope() { return sink_.beginScope(); }
+  void endScope(ScopeHandle scope) { sink_.endScope(scope); }
+  void setEnforced(ScopeHandle scope, bool on) {
+    sink_.setScopeEnforced(scope, on);
   }
-  void retire(Lit activator) { sink_.retireScope(activator); }
-  void retireAll(std::span<const Lit> activators) {
-    sat_.retireAll(activators);
+  void retire(ScopeHandle scope) { sink_.retireScope(scope); }
+
+  /// Batch retirement: one database sweep for many scopes.
+  void retireAll(std::span<const ScopeHandle> scopes) {
+    acts_buf_.clear();
+    acts_buf_.reserve(scopes.size());
+    for (const ScopeHandle sc : scopes) acts_buf_.push_back(sc.activator());
+    sat_.retireAll(acts_buf_);
   }
 
   // ---- Solving ---------------------------------------------------------
@@ -100,12 +107,33 @@ class OracleSession {
     return solve(std::span<const Lit>(extra.begin(), extra.size()));
   }
 
+  // ---- Core reduction --------------------------------------------------
+
+  /// Fixpoint-trims a failing assumption set through this session's
+  /// oracle (scope activators are auto-assumed by the solver as in any
+  /// other session solve), charging the re-solves actually performed to
+  /// satCalls() instead of a caller-side guess.
+  [[nodiscard]] std::vector<Lit> trimCore(std::vector<Lit> core,
+                                          const CoreTrimOptions& opts = {}) {
+    const std::int64_t before = sat_.stats().solves;
+    core = msu::trimCore(sat_, std::move(core), opts);
+    sat_calls_ += sat_.stats().solves - before;
+    return core;
+  }
+
+  /// Deletion-based core minimization through this session's oracle;
+  /// the (conflict-budgeted) drop attempts count into satCalls().
+  [[nodiscard]] std::vector<Lit> minimizeCore(
+      std::vector<Lit> core, const CoreTrimOptions& opts = {}) {
+    const std::int64_t before = sat_.stats().solves;
+    core = msu::minimizeCore(sat_, std::move(core), opts);
+    sat_calls_ += sat_.stats().solves - before;
+    return core;
+  }
+
   // ---- Result plumbing -------------------------------------------------
 
   [[nodiscard]] std::int64_t satCalls() const { return sat_calls_; }
-
-  /// Accounts oracle calls made outside solve() (e.g. core trimming).
-  void addExtraSatCalls(std::int64_t n) { sat_calls_ += n; }
 
   /// Copies the session's CDCL statistics and call count into a result.
   void exportStats(MaxSatResult& r) const {
@@ -119,6 +147,7 @@ class OracleSession {
   std::optional<SoftTracker> tracker_;
   std::int64_t sat_calls_ = 0;
   std::vector<Lit> assumps_buf_;
+  std::vector<Lit> acts_buf_;
 };
 
 }  // namespace msu

@@ -37,7 +37,7 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
   Weight lower = 0;
   Weight upper = total + 1;  // no model yet
   Assignment best;
-  Lit boundScope = kUndefLit;  // scope of the current bound constraint
+  ScopeHandle boundScope;  // scope of the current bound constraint
 
   auto notifyBounds = [&] {
     if (opts_.onBounds) opts_.onBounds(lower, upper);
@@ -85,7 +85,7 @@ MaxSatResult WeightedLinearSolver::solve(const WcnfFormula& formula) {
     // true cost <= upper - 1. The new constraint subsumes the previous
     // one, whose scope is physically retired instead of rotting in the
     // database.
-    if (boundScope != kUndefLit) session.retire(boundScope);
+    if (boundScope.defined()) session.retire(boundScope);
     boundScope = session.beginScope();
     if (unweighted) {
       std::vector<Lit> lits;

@@ -14,9 +14,9 @@ namespace {
 /// the enforcement assumption, and retiring the scope deletes the
 /// clause physically (recycling the selector variable).
 struct SoftItem {
-  Clause lits;     ///< original literals plus accumulated blocking vars
-  Weight weight;   ///< remaining weight carried by this version
-  Lit version;     ///< scope activator of the current version
+  Clause lits;          ///< original literals plus accumulated blocking vars
+  Weight weight;        ///< remaining weight carried by this version
+  ScopeHandle version;  ///< scope of the current version
 };
 
 }  // namespace
@@ -37,10 +37,10 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
   std::unordered_map<Var, int> activatorToItem;
 
   auto install = [&](Clause lits, Weight weight) {
-    const Lit act = session.beginScope();
+    const ScopeHandle act = session.beginScope();
     session.sink().addClause(lits);
     session.endScope(act);
-    activatorToItem[act.var()] = static_cast<int>(items.size());
+    activatorToItem[act.activator().var()] = static_cast<int>(items.size());
     items.push_back(SoftItem{std::move(lits), weight, act});
   };
 
@@ -104,14 +104,14 @@ MaxSatResult Wmsu1Solver::solve(const WcnfFormula& formula) {
 
     // Retire every core member's version in one batch sweep, then
     // install the residual and relaxed successors.
-    std::vector<Lit> retired;
+    std::vector<ScopeHandle> retired;
     std::vector<std::pair<Clause, Weight>> split;  // (lits, old weight)
     retired.reserve(coreItems.size());
     split.reserve(coreItems.size());
     for (int idx : coreItems) {
       SoftItem& item = items[static_cast<std::size_t>(idx)];
       retired.push_back(item.version);
-      activatorToItem.erase(item.version.var());
+      activatorToItem.erase(item.version.activator().var());
       split.emplace_back(item.lits, item.weight);
       item.weight = 0;  // retired
     }

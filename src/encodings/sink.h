@@ -11,11 +11,16 @@
 /// then be *retired* rather than left to rot in the clause database.
 /// The sink makes this a first-class lifecycle:
 ///
-///   Lit act = sink.beginScope();     // open a scope; `act` guards it
-///   encodeAtMost(sink, lits, k, enc); // clauses get `~act` appended
-///   sink.endScope(act);              // close (emission complete)
-///   ...                              // constraint active while `act` holds
-///   sink.retireScope(act);           // discard the whole structure
+///   ScopeHandle sc = sink.beginScope(); // open a scope
+///   encodeAtMost(sink, lits, k, enc);   // clauses get the guard appended
+///   sink.endScope(sc);                  // close (emission complete)
+///   ...                                 // constraint active while enforced
+///   sink.retireScope(sc);               // discard the whole structure
+///
+/// Scopes are addressed by an opaque ScopeHandle rather than a raw
+/// activator Lit, so a selector or blocking literal can never be passed
+/// where a scope is expected (and vice versa) without an explicit —
+/// visible — conversion.
 ///
 /// Every clause emitted inside a scope is guarded by the scope's
 /// activator: the constraint is enforced exactly when the activator is
@@ -43,6 +48,31 @@
 #include "sat/solver.h"
 
 namespace msu {
+
+/// Opaque, typed handle for an encoding scope. Wraps the scope's
+/// activator literal; the explicit constructor and accessor make every
+/// crossing between "scope" and "plain literal" a deliberate act the
+/// compiler can police — passing a blocking/selector literal to
+/// retireScope, or assuming a scope handle as if it were a bound
+/// literal, no longer type-checks.
+class ScopeHandle {
+ public:
+  constexpr ScopeHandle() = default;
+  constexpr explicit ScopeHandle(Lit activator) : act_(activator) {}
+
+  /// True iff the handle names a scope (default-constructed ones don't).
+  [[nodiscard]] constexpr bool defined() const { return act_ != kUndefLit; }
+
+  /// The guard literal: true exactly while the constraint is enforced.
+  /// Needed when a scope's activator doubles as an assumption handle
+  /// (AssumableAtMost) — every such escape is explicit at the call site.
+  [[nodiscard]] constexpr Lit activator() const { return act_; }
+
+  friend constexpr bool operator==(ScopeHandle, ScopeHandle) = default;
+
+ private:
+  Lit act_ = kUndefLit;
+};
 
 /// Destination for encoder output: fresh variables plus clauses, with
 /// scope-based lifecycle management for retirable constraint groups.
@@ -87,26 +117,26 @@ class ClauseSink {
 
   // ---- Scopes ----------------------------------------------------------
 
-  /// Opens a fresh encoding scope and returns its activator handle.
-  /// The default (offline) implementation guards the scope's clauses
-  /// with a fresh free variable; the exported constraint is enforced
-  /// exactly when that activator is made true (see setScopeEnforced).
-  [[nodiscard]] virtual Lit beginScope() {
+  /// Opens a fresh encoding scope and returns its handle. The default
+  /// (offline) implementation guards the scope's clauses with a fresh
+  /// free variable; the exported constraint is enforced exactly when
+  /// that activator is made true (see setScopeEnforced).
+  [[nodiscard]] virtual ScopeHandle beginScope() {
     const Lit act = posLit(newGlobalVar());
     scope_stack_.push_back(act);
-    return act;
+    return ScopeHandle(act);
   }
 
   /// Re-enters a live scope for additional emission (e.g. tightening a
   /// bound over an already-built network).
-  virtual void reopenScope(Lit activator) {
-    scope_stack_.push_back(activator);
+  virtual void reopenScope(ScopeHandle scope) {
+    scope_stack_.push_back(scope.activator());
   }
 
-  /// Closes the innermost scope; must match its activator.
-  virtual void endScope(Lit activator) {
-    assert(!scope_stack_.empty() && scope_stack_.back() == activator);
-    static_cast<void>(activator);
+  /// Closes the innermost scope; must match its handle.
+  virtual void endScope(ScopeHandle scope) {
+    assert(!scope_stack_.empty() && scope_stack_.back() == scope.activator());
+    static_cast<void>(scope);
     scope_stack_.pop_back();
   }
 
@@ -114,8 +144,8 @@ class ClauseSink {
   /// physically and recycle its variables; the default is the logical
   /// fallback: permanently assert the negated activator (emitted raw,
   /// so it stays unconditional even while another scope is open).
-  virtual void retireScope(Lit activator) {
-    const Lit unit = ~activator;
+  virtual void retireScope(ScopeHandle scope) {
+    const Lit unit = ~scope.activator();
     emitClause({&unit, 1});
   }
 
@@ -126,8 +156,8 @@ class ClauseSink {
   /// the emitted formula enforces the constraint exactly when the
   /// activator holds, and the consumer decides that by asserting or
   /// assuming the activator literal itself.
-  virtual void setScopeEnforced(Lit activator, bool enforced) {
-    static_cast<void>(activator);
+  virtual void setScopeEnforced(ScopeHandle scope, bool enforced) {
+    static_cast<void>(scope);
     static_cast<void>(enforced);
   }
 
@@ -158,28 +188,30 @@ class SolverSink final : public ClauseSink {
 
   Var newVar() override { return solver_->newVar(); }
 
-  [[nodiscard]] Lit beginScope() override {
+  [[nodiscard]] ScopeHandle beginScope() override {
     const Lit act = solver_->newActivator();
     solver_->openScope(act);
     scope_stack_.push_back(act);
-    return act;
+    return ScopeHandle(act);
   }
 
-  void reopenScope(Lit activator) override {
-    solver_->openScope(activator);
-    scope_stack_.push_back(activator);
+  void reopenScope(ScopeHandle scope) override {
+    solver_->openScope(scope.activator());
+    scope_stack_.push_back(scope.activator());
   }
 
-  void endScope(Lit activator) override {
-    assert(!scope_stack_.empty() && scope_stack_.back() == activator);
+  void endScope(ScopeHandle scope) override {
+    assert(!scope_stack_.empty() && scope_stack_.back() == scope.activator());
     scope_stack_.pop_back();
-    solver_->closeScope(activator);
+    solver_->closeScope(scope.activator());
   }
 
-  void retireScope(Lit activator) override { solver_->retire(activator); }
+  void retireScope(ScopeHandle scope) override {
+    solver_->retire(scope.activator());
+  }
 
-  void setScopeEnforced(Lit activator, bool enforced) override {
-    solver_->setScopeEnforced(activator, enforced);
+  void setScopeEnforced(ScopeHandle scope, bool enforced) override {
+    solver_->setScopeEnforced(scope.activator(), enforced);
   }
 
  protected:

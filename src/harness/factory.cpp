@@ -1,5 +1,7 @@
 #include "harness/factory.h"
 
+#include <cstdlib>
+
 #include "bnb/bnb_solver.h"
 #include "core/binary_search.h"
 #include "core/bmo.h"
@@ -10,6 +12,7 @@
 #include "core/oll.h"
 #include "core/wlinear.h"
 #include "core/wmsu1.h"
+#include "par/portfolio.h"
 #include "pbo/maxsat_pbo.h"
 
 namespace msu {
@@ -18,7 +21,7 @@ std::vector<std::string> solverNames() {
   return {"msu4-v1", "msu4-v2", "msu4-seq",  "msu4-tot", "msu4-cnet", "msu3",
           "msu1",    "wmsu1",   "oll",       "bmo",       "linear",   "wlinear",
           "wlinear-adder",      "binary",    "pbo",      "pbo-adder",
-          "maxsatz"};
+          "maxsatz", "portfolio", "portfolio4"};
 }
 
 std::unique_ptr<MaxSatSolver> makeSolver(const std::string& name,
@@ -82,6 +85,19 @@ std::unique_ptr<MaxSatSolver> makeSolver(const std::string& name,
     BnbOptions bo;
     bo.budget = options.budget;
     return std::make_unique<BnbSolver>(bo);
+  }
+  if (name.rfind("portfolio", 0) == 0) {
+    const std::string suffix = name.substr(9);
+    if (!suffix.empty() &&
+        (suffix.find_first_not_of("0123456789") != std::string::npos ||
+         suffix.size() > 3)) {
+      return nullptr;  // strict match: "portfolio" or "portfolioN"
+    }
+    PortfolioOptions po;
+    po.base = options;
+    po.threads = suffix.empty() ? 4 : std::atoi(suffix.c_str());
+    if (po.threads < 1) return nullptr;
+    return std::make_unique<PortfolioSolver>(po);
   }
   return nullptr;
 }

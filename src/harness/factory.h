@@ -20,7 +20,9 @@ namespace msu {
 /// Creates an engine by name; nullptr for unknown names.
 ///
 /// Names: "msu4-v1", "msu4-v2", "msu4-seq", "msu4-tot", "msu3", "msu1",
-/// "linear", "binary", "pbo", "pbo-adder", "maxsatz".
+/// "linear", "binary", "pbo", "pbo-adder", "maxsatz", plus the parallel
+/// portfolio as "portfolio" (default thread count) or "portfolioN"
+/// (e.g. "portfolio4": N racing workers with clause sharing).
 /// `options.budget` applies to every engine; the cardinality-encoding
 /// option is overridden by names that pin one (msu4-v1/v2/seq/tot).
 [[nodiscard]] std::unique_ptr<MaxSatSolver> makeSolver(

@@ -193,6 +193,9 @@ void printSatStats(std::ostream& out, const SolverStats& stats,
   row("retired clauses", stats.retired_clauses);
   row("reclaimed bytes", stats.reclaimed_bytes);
   row("recycled vars", stats.recycled_vars);
+  row("shared exported", stats.shared_exported);
+  row("shared imported", stats.shared_imported);
+  row("  dropped as satisfied", stats.shared_import_drops);
 }
 
 }  // namespace msu

@@ -1,0 +1,208 @@
+/// \file clause_pool.h
+/// \brief The shared learnt-clause pool of the parallel portfolio: a
+///        mutex-guarded append-only store with one export/import
+///        endpoint per worker.
+///
+/// ## Why sharing across *heterogeneous* engines is sound
+///
+/// Every worker solves the same MaxSAT instance, but each engine mixes
+/// the instance's hard clauses with clauses of its own: selector-
+/// augmented soft clauses `(C_i ∨ s_i)`, cardinality/PB encodings over
+/// the selectors, bound restrictions, at-least-one-blocking clauses.
+/// Those additions are *not* consequences of the instance — importing
+/// them (or anything derived from them) into a worker at a different
+/// search state could cut optimal models and change the answer.
+///
+/// The export filter (Solver::maybeExportLearnt) admits only clauses
+/// whose variables all lie in the shared prefix `[0, numVars)` of the
+/// original formula. That is sufficient because the engine layer keeps
+/// every addition in one of two shapes:
+///
+///  * a *conservative extension*: selector-augmented softs (the
+///    selector appears only positively, so setting it true satisfies
+///    the clause under any assignment of the originals) and encoding
+///    definitions over fresh auxiliaries — any model of the hard
+///    clauses extends to a model of these; or
+///  * a *guarded restriction*: everything that genuinely cuts models
+///    (bound units, per-bound structures) lives in an encoding scope,
+///    so each clause carries a `~act` guard whose positive literal
+///    appears in no clause whatsoever — resolution can never eliminate
+///    the guard, and every learnt descendant keeps a literal above the
+///    shared prefix. (IncrementalAtMost routes even the incremental
+///    totalizer's monotone bound units through a permanent scope for
+///    exactly this reason; clauses touching activator-tagged scope
+///    variables are thus never exported, which also keeps sharing
+///    sound under physical scope retirement.)
+///
+/// Hence any learnt clause over original variables only is derivable
+/// from the hard clauses plus conservative extensions alone, and by
+/// conservativity is a consequence of the hard clauses — attachable by
+/// every other worker, whatever its engine, bound state or retirement
+/// history. The portfolio only hands endpoints to engines that obey
+/// this discipline (see PortfolioOptions::engines).
+///
+/// ## Mechanics
+///
+/// The pool stores clauses in one flat literal array with a per-clause
+/// producer id; each endpoint keeps a read cursor into the store, so a
+/// worker imports every clause published by *others* exactly once and
+/// never re-imports its own exports. A fingerprint set deduplicates
+/// identical clauses across workers (first publisher wins). All
+/// operations take one std::mutex — export traffic is deliberately thin
+/// (short, low-LBD clauses only), so contention is negligible next to
+/// search.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cnf/literal.h"
+#include "sat/share.h"
+
+namespace msu {
+
+/// Shared clause store + per-worker endpoints. Thread-safe; endpoints
+/// are handed to Solver::Options::share and must not outlive the pool.
+class SharedClausePool {
+ public:
+  /// `numWorkers` fixes the endpoint count; `numSharedVars` is the
+  /// shared variable prefix (clauses are validated against it in debug
+  /// builds — the exporting solver already filters).
+  SharedClausePool(int numWorkers, int numSharedVars)
+      : num_shared_vars_(numSharedVars) {
+    endpoints_.reserve(static_cast<std::size_t>(numWorkers));
+    for (int w = 0; w < numWorkers; ++w) {
+      endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, w)));
+    }
+  }
+
+  SharedClausePool(const SharedClausePool&) = delete;
+  SharedClausePool& operator=(const SharedClausePool&) = delete;
+
+  /// Worker `w`'s exchange endpoint (attach to Solver::Options::share).
+  [[nodiscard]] ClauseShare* endpoint(int w) {
+    return endpoints_[static_cast<std::size_t>(w)].get();
+  }
+
+  /// Clauses currently stored (deduplicated publications).
+  [[nodiscard]] std::int64_t numClauses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::int64_t>(index_.size());
+  }
+
+  /// Publications rejected as duplicates of an already-stored clause.
+  [[nodiscard]] std::int64_t numDuplicates() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return duplicates_;
+  }
+
+ private:
+  /// One worker's view of the pool.
+  class Endpoint final : public ClauseShare {
+   public:
+    Endpoint(SharedClausePool* pool, int worker)
+        : pool_(pool), worker_(worker) {}
+
+    void exportClause(std::span<const Lit> lits, int glue) override {
+      pool_->publish(worker_, lits, glue);
+    }
+
+    void importClauses(
+        const std::function<void(std::span<const Lit>)>& consume) override {
+      pool_->consume(worker_, cursor_, consume);
+    }
+
+   private:
+    SharedClausePool* pool_;
+    int worker_;
+    std::size_t cursor_ = 0;  ///< next unread index into index_
+  };
+
+  /// Location of one stored clause in the flat literal array.
+  struct ClauseRec {
+    std::uint32_t offset;
+    std::uint16_t size;
+    std::uint16_t producer;
+  };
+
+  void publish(int worker, std::span<const Lit> lits, int glue) {
+    static_cast<void>(glue);  // the exporter already filtered on it
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t fp = fingerprint(lits);
+    if (!seen_.insert(fp).second) {
+      ++duplicates_;
+      return;  // identical clause already published (first wins)
+    }
+    ClauseRec rec;
+    rec.offset = static_cast<std::uint32_t>(store_.size());
+    rec.size = static_cast<std::uint16_t>(lits.size());
+    rec.producer = static_cast<std::uint16_t>(worker);
+    for (const Lit p : lits) {
+      assert(p.var() >= 0 && p.var() < num_shared_vars_);
+      store_.push_back(p);
+    }
+    index_.push_back(rec);
+  }
+
+  void consume(int worker, std::size_t& cursor,
+               const std::function<void(std::span<const Lit>)>& fn) {
+    // Copy the unread clauses out under the lock, then deliver them
+    // unlocked: the consumer attaches clauses and runs unit propagation,
+    // which must not stall the other workers' hot-path exports.
+    std::vector<Lit> batch;
+    std::vector<std::uint32_t> sizes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (; cursor < index_.size(); ++cursor) {
+        const ClauseRec& rec = index_[cursor];
+        if (static_cast<int>(rec.producer) == worker) continue;
+        const auto first =
+            store_.begin() + static_cast<std::ptrdiff_t>(rec.offset);
+        batch.insert(batch.end(), first,
+                     first + static_cast<std::ptrdiff_t>(rec.size));
+        sizes.push_back(rec.size);
+      }
+    }
+    std::size_t off = 0;
+    for (const std::uint32_t n : sizes) {
+      fn(std::span<const Lit>(batch.data() + off, n));
+      off += n;
+    }
+  }
+
+  /// Fingerprint over the *sorted* literal set, so the same clause
+  /// learnt in different literal orders by different workers
+  /// deduplicates.
+  [[nodiscard]] static std::uint64_t fingerprint(std::span<const Lit> lits) {
+    std::array<std::int32_t, 64> buf;  // export ceiling is far below this
+    const std::size_t n = std::min(lits.size(), buf.size());
+    for (std::size_t i = 0; i < n; ++i) buf[i] = lits[i].index();
+    std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+    std::uint64_t h = 0x9E3779B97F4A7C15ull ^ (n * 0x2545F4914F6CDD1Dull);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(buf[i]));
+      h *= 0x100000001B3ull;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  mutable std::mutex mu_;
+  int num_shared_vars_;
+  std::vector<Lit> store_;        ///< flat literal array
+  std::vector<ClauseRec> index_;  ///< one record per stored clause
+  std::unordered_set<std::uint64_t> seen_;  ///< clause fingerprints
+  std::int64_t duplicates_ = 0;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace msu

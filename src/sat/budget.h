@@ -6,9 +6,16 @@
 /// every solver polls a Budget (wall clock, conflicts, search nodes) and
 /// returns an *unknown* outcome when it is exhausted. No signals, no
 /// processes — portable and deterministic enough for CI.
+///
+/// Budgets additionally carry an optional *interrupt flag*: a non-owning
+/// pointer to an atomic bool that an external controller (the parallel
+/// portfolio's first-finisher cancellation, a UI, a watchdog) may set at
+/// any time. An interrupted budget reports its wall clock as expired, so
+/// every existing poll site doubles as a cancellation point.
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -53,6 +60,18 @@ class Budget {
   /// Sets the cumulative branch-and-bound node limit.
   void setMaxNodes(std::int64_t n) { max_nodes_ = n; }
 
+  /// Installs (or clears, with nullptr) an external interrupt flag. The
+  /// flag is non-owning and must outlive every copy of this budget;
+  /// copies share it, which is how one stop signal fans out to all
+  /// solvers of a portfolio.
+  void setInterrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
+
+  /// True iff an interrupt flag is installed and set.
+  [[nodiscard]] bool interrupted() const {
+    return interrupt_ != nullptr &&
+           interrupt_->load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::optional<std::int64_t> maxConflicts() const {
     return max_conflicts_;
   }
@@ -60,9 +79,12 @@ class Budget {
     return max_nodes_;
   }
 
-  /// True iff a wall-clock deadline exists and has passed.
+  /// True iff the budget was interrupted externally, or a wall-clock
+  /// deadline exists and has passed. Folding the interrupt into the
+  /// time check turns every existing wall-clock poll into a
+  /// cancellation point.
   [[nodiscard]] bool timeExpired() const {
-    return deadline_ && Clock::now() >= *deadline_;
+    return interrupted() || (deadline_ && Clock::now() >= *deadline_);
   }
 
   /// True iff the cumulative conflict count exceeds the limit.
@@ -75,15 +97,18 @@ class Budget {
     return max_nodes_ && nodes >= *max_nodes_;
   }
 
-  /// True iff no limit of any kind is set.
+  /// True iff no limit of any kind is set (an interrupt flag counts as
+  /// a limit: the budget can be exhausted externally).
   [[nodiscard]] bool isUnlimited() const {
-    return !deadline_ && !max_conflicts_ && !max_nodes_;
+    return !deadline_ && !max_conflicts_ && !max_nodes_ &&
+           interrupt_ == nullptr;
   }
 
  private:
   std::optional<Clock::time_point> deadline_;
   std::optional<std::int64_t> max_conflicts_;
   std::optional<std::int64_t> max_nodes_;
+  const std::atomic<bool>* interrupt_ = nullptr;
 };
 
 }  // namespace msu

@@ -1,0 +1,59 @@
+/// \file share.h
+/// \brief The solver-side interface of inter-solver learnt-clause
+///        sharing, analogous to ProofTracer: the CDCL engine talks to an
+///        abstract exchange, and the parallel portfolio (src/par)
+///        provides the concrete pool behind it.
+///
+/// ## Contract
+///
+/// A Solver with a ClauseShare attached *exports* learnt clauses that
+/// pass its sharing filter (short, low-LBD, and over the shareable
+/// variable prefix only — see Solver::Options::share_num_vars) the
+/// moment they are learnt, and *imports* foreign clauses at restart
+/// boundaries (decision level 0), where attaching them is trivially
+/// sound for the search state.
+///
+/// Exported clauses must be logical consequences of the *shared* part
+/// of the problem — in the portfolio, the hard clauses of the MaxSAT
+/// instance — so that any consumer may attach them as learnt clauses
+/// regardless of its own engine state. The solver guarantees this by
+/// construction: only clauses whose literals all lie below
+/// `share_num_vars` qualify, and the engine layer keeps every
+/// non-consequence it adds (selector-augmented softs, bound
+/// restrictions, encoding definitions) either guarded by a scope
+/// activator or confined to variables above that prefix (see
+/// par/clause_pool.h for the full argument). In particular, clauses
+/// touching activator-tagged scope variables are never exported, which
+/// keeps sharing sound under physical scope retirement.
+///
+/// Implementations must be safe to call concurrently from the owning
+/// solver threads (the portfolio's pool locks internally).
+
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "cnf/literal.h"
+
+namespace msu {
+
+/// Receiver/source of shared learnt clauses. Non-owning; must outlive
+/// every solver it is attached to.
+class ClauseShare {
+ public:
+  virtual ~ClauseShare() = default;
+
+  /// Offers a learnt clause (already filtered by the solver) to the
+  /// exchange. `glue` is the clause's LBD at learning time.
+  virtual void exportClause(std::span<const Lit> lits, int glue) = 0;
+
+  /// Streams every foreign clause this endpoint has not seen yet into
+  /// `consume`. Called by the solver only at decision level 0. The
+  /// spans passed to `consume` are valid only for the duration of the
+  /// callback.
+  virtual void importClauses(
+      const std::function<void(std::span<const Lit>)>& consume) = 0;
+};
+
+}  // namespace msu

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sat/share.h"
 
 namespace msu {
 
@@ -43,6 +47,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     polarity_[v] = 1;
     activity_[v] = 0.0;
     seen_[v] = 0;
+    var_owner_[v] = kUndefVar;
     decision_[v] = decisionVar ? 1 : 0;
     if (order_heap_.contains(v)) {
       order_heap_.update(v);  // activity changed: restore heap order
@@ -61,6 +66,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     seen_.push_back(0);
     is_activator_.push_back(0);
     scope_index_.push_back(-1);
+    var_owner_.push_back(kUndefVar);
     assump_stamp_.push_back(0);
     if (decisionVar) order_heap_.insert(v);
   }
@@ -69,6 +75,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     assert(scope_index_[owner] >= 0);
     scopes_[static_cast<std::size_t>(scope_index_[owner])]
         .second.vars.push_back(v);
+    var_owner_[v] = owner;
   }
   return v;
 }
@@ -77,7 +84,9 @@ Lit Solver::newActivator() {
   const Var v = newVar(/*decisionVar=*/false, /*scoped=*/false);
   is_activator_[v] = 1;
   scope_index_[v] = static_cast<int>(scopes_.size());
-  scopes_.emplace_back(v, ScopeRec{});
+  ScopeRec rec;
+  rec.birth = ++scope_births_;
+  scopes_.emplace_back(v, std::move(rec));
   return posLit(v);
 }
 
@@ -140,6 +149,7 @@ void Solver::retireAll(std::span<const Lit> activators) {
   // record its unit as a lemma while the justifying clauses still exist
   // so the proof stays checkable.
   for (const Var v : candidates) {
+    var_owner_[v] = kUndefVar;
     if (assigns_[v] != lbool::Undef) {
       const Lit unit(v, assigns_[v] == lbool::False);
       traceLemma({&unit, 1});
@@ -241,9 +251,45 @@ void Solver::appendScopeAssumptions(std::span<const Lit> userAssumptions) {
   }
 }
 
+void Solver::checkCrossScopeRefs(std::span<const Lit> lits) const {
+  // Scope-contract checker: a clause may reference a variable owned by
+  // (or guarding) a live scope only if that scope is open for emission,
+  // or strictly older than the emitting scope (deliberate layering —
+  // the referencing structure must then be retired first). Violations
+  // would otherwise surface much later, as a retire() literal-scan
+  // silently deleting a clause of a *different*, still-live scope.
+  const Var cur = currentScopeTag();
+  const std::uint64_t curBirth =
+      cur == kUndefVar
+          ? 0
+          : scopes_[static_cast<std::size_t>(scope_index_[cur])].second.birth;
+  for (const Lit p : lits) {
+    const Var v = p.var();
+    Var owner = var_owner_[v];
+    if (owner == kUndefVar && is_activator_[v] != 0) owner = v;
+    if (owner == kUndefVar) continue;
+    if (std::find(scope_stack_.begin(), scope_stack_.end(), owner) !=
+        scope_stack_.end()) {
+      continue;
+    }
+    if (cur != kUndefVar) {
+      const ScopeRec& ownerRec =
+          scopes_[static_cast<std::size_t>(scope_index_[owner])].second;
+      if (ownerRec.birth < curBirth) continue;  // older scope: layering
+    }
+    std::fprintf(stderr,
+                 "msu: cross-scope reference: clause mentions var %d owned "
+                 "by scope %d, which is neither open for emission nor older "
+                 "than the emitting scope\n",
+                 v, owner);
+    std::abort();
+  }
+}
+
 bool Solver::addClause(std::span<const Lit> lits) {
   assert(decisionLevel() == 0);
   if (!ok_) return false;
+  if (opts_.check_cross_scope) checkCrossScopeRefs(lits);
   traceAxiom(lits);
 
   // Sort and simplify against the level-0 assignment.
@@ -719,14 +765,17 @@ Var Solver::learntTagFor(std::span<const Lit> lits) const {
 void Solver::recordLearnt(std::span<const Lit> learntClause) {
   if (learntClause.size() == 1) {
     uncheckedEnqueue(learntClause[0]);
+    maybeExportLearnt(learntClause, 1);
   } else if (learntClause.size() == 2) {
     attachBinary(learntClause[0], learntClause[1], /*learnt=*/true);
     uncheckedEnqueue(learntClause[0], Reason::binary(learntClause[1]));
+    maybeExportLearnt(learntClause, 2);
   } else {
     const Var tag = scopes_.empty() ? kUndefVar : learntTagFor(learntClause);
     const CRef ref = arena_.alloc(learntClause, /*learnt=*/true, tag);
     ClauseRefView c = arena_[ref];
     const std::uint32_t lbd = computeLbd(learntClause);
+    maybeExportLearnt(learntClause, lbd);
     c.setLbd(lbd);
     const std::uint32_t tier =
         lbd <= 2 ? kTierCore
@@ -945,6 +994,81 @@ void Solver::relocAll(ClauseArena& to) {
   watches_.compact();
 }
 
+void Solver::maybeExportLearnt(std::span<const Lit> lits, std::uint32_t lbd) {
+  if (!sharing() || !ok_) return;
+  if (static_cast<int>(lits.size()) > opts_.share_max_size) return;
+  if (lits.size() > 2 &&
+      lbd > static_cast<std::uint32_t>(opts_.share_max_lbd)) {
+    return;
+  }
+  // Only clauses over the shareable variable prefix are consequences of
+  // the shared (hard) part of the problem; anything touching a
+  // selector, activator or encoding auxiliary stays private. See
+  // sat/share.h.
+  for (const Lit p : lits) {
+    if (p.var() >= opts_.share_num_vars) return;
+  }
+  opts_.share->exportClause(lits, static_cast<int>(lbd));
+  ++stats_.shared_exported;
+}
+
+void Solver::importSharedClauses() {
+  if (!sharing() || !ok_) return;
+  assert(decisionLevel() == 0);
+  std::vector<Lit> ps;
+  opts_.share->importClauses([&](std::span<const Lit> lits) {
+    if (!ok_) return;
+    ps.clear();
+    bool satisfied = false;
+    for (const Lit p : lits) {
+      assert(p.var() < opts_.share_num_vars &&
+             opts_.share_num_vars <= numVars());
+      const lbool v = value(p);
+      if (v == lbool::True) {
+        satisfied = true;
+        break;
+      }
+      if (v == lbool::Undef) ps.push_back(p);
+    }
+    if (satisfied) {
+      ++stats_.shared_import_drops;
+      return;
+    }
+    // Imported clauses are consequences of the shared hard clauses, not
+    // of this solver's database: they enter a proof trace as axioms
+    // (sharing and refutation proofs don't meaningfully mix).
+    traceAxiom(ps);
+    ++stats_.shared_imported;
+    if (ps.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (ps.size() == 1) {
+      uncheckedEnqueue(ps[0]);
+      ok_ = propagate().isNone();
+      return;
+    }
+    if (ps.size() == 2) {
+      attachBinary(ps[0], ps[1], /*learnt=*/true);
+      return;
+    }
+    const CRef ref = arena_.alloc(ps, /*learnt=*/true, kUndefVar);
+    ClauseRefView c = arena_[ref];
+    const auto lbd = static_cast<std::uint32_t>(ps.size());
+    c.setLbd(lbd);
+    const std::uint32_t tier =
+        lbd <= 2 ? kTierCore
+                 : (lbd <= static_cast<std::uint32_t>(opts_.tier2_lbd)
+                        ? kTier2
+                        : kTierLocal);
+    c.setTier(tier);
+    c.setUsed(2);
+    ++tierGauge(tier);
+    learnts_.push_back(ref);
+    attachClause(ref);
+  });
+}
+
 bool Solver::withinBudget() const {
   if (budget_.conflictsExhausted(stats_.conflicts)) return false;
   // Wall-clock checks are amortized by the caller (search loop).
@@ -1061,6 +1185,13 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   lbool status = lbool::Undef;
   for (int restarts = 0; status == lbool::Undef; ++restarts) {
     if (budget_.timeExpired() || !withinBudget()) break;
+    // Restart boundary: adopt foreign clauses while the trail holds
+    // level-0 facts only (attaching is trivially sound here).
+    importSharedClauses();
+    if (!ok_) {
+      status = lbool::False;
+      break;
+    }
     const double restartBase =
         opts_.luby_restarts
             ? lubySequence(2.0, restarts)

@@ -75,6 +75,16 @@
 /// modern equivalent of the MiniSat 1.14 resolution-based core extractor
 /// used in the paper. Cores may name auto-assumed activators; engines
 /// map cores through selector tables and ignore the rest.
+///
+/// ## Clause sharing (parallel portfolio)
+///
+/// With Options::share attached, the solver exports learnt clauses that
+/// are short, low-LBD and lie entirely below the shareable variable
+/// prefix `share_num_vars` (which excludes every selector, activator
+/// and encoding auxiliary — in particular no clause touching an
+/// activator-tagged scope variable is ever exported), and imports
+/// foreign clauses as learnt clauses at restart boundaries. See
+/// sat/share.h for the soundness contract.
 
 #pragma once
 
@@ -92,6 +102,8 @@
 #include "sat/watches.h"
 
 namespace msu {
+
+class ClauseShare;
 
 /// Incremental CDCL solver.
 class Solver {
@@ -114,6 +126,29 @@ class Solver {
     /// Optional proof receiver (non-owning; must outlive the solver).
     /// Attach before adding clauses so the axiom trace is complete.
     ProofTracer* tracer = nullptr;
+
+    /// Optional learnt-clause exchange (non-owning; must outlive the
+    /// solver). Sharing is active only when this is set AND
+    /// share_num_vars > 0. Refutation proofs and sharing are mutually
+    /// exclusive: imported clauses enter the trace as axioms.
+    ClauseShare* share = nullptr;
+    int share_max_size = 8;  ///< export ceiling on clause length
+    int share_max_lbd = 4;   ///< export ceiling on LBD (clauses > 2 lits)
+    Var share_num_vars = 0;  ///< only clauses over vars < this qualify
+
+    /// Abort with the offending scope id when a clause references a
+    /// variable of a live scope that is neither open for emission nor
+    /// older than the emitting scope (the misuse retire()'s literal
+    /// scan would otherwise mask as a silent deletion). References to
+    /// *older* scopes are legitimate layering — OLL counts the outputs
+    /// of earlier totalizers — provided the older scope outlives the
+    /// referencing one. Off by default in release builds; tests enable
+    /// it explicitly.
+#ifdef NDEBUG
+    bool check_cross_scope = false;
+#else
+    bool check_cross_scope = true;
+#endif
   };
 
   Solver() : Solver(Options{}) {}
@@ -263,8 +298,9 @@ class Solver {
 
   /// Bookkeeping of one live encoding scope.
   struct ScopeRec {
-    std::vector<Var> vars;  ///< auxiliary variables owned by the scope
-    bool enforced = true;   ///< auto-assume activator vs. its negation
+    std::vector<Var> vars;    ///< auxiliary variables owned by the scope
+    std::uint64_t birth = 0;  ///< creation order (cross-scope checker)
+    bool enforced = true;     ///< auto-assume activator vs. its negation
   };
 
   // Learnt-DB tiers (stored in the clause header's tier bits).
@@ -310,6 +346,14 @@ class Solver {
   [[nodiscard]] Var learntTagFor(std::span<const Lit> lits) const;
   void appendScopeAssumptions(std::span<const Lit> userAssumptions);
   void recycleVar(Var v);
+  void checkCrossScopeRefs(std::span<const Lit> lits) const;
+
+  // Clause-sharing helpers (no-ops without Options::share).
+  [[nodiscard]] bool sharing() const {
+    return opts_.share != nullptr && opts_.share_num_vars > 0;
+  }
+  void maybeExportLearnt(std::span<const Lit> lits, std::uint32_t lbd);
+  void importSharedClauses();
 
   [[nodiscard]] bool locked(CRef ref) const;
   [[nodiscard]] int level(Var v) const { return vardata_[v].level; }
@@ -366,9 +410,11 @@ class Solver {
   // thousands of scopes are live (msu1/wmsu1 keep one per soft clause).
   std::vector<char> is_activator_;     // per var: 1 = live scope guard
   std::vector<int> scope_index_;       // per var: slot in scopes_ or -1
+  std::vector<Var> var_owner_;         // per var: owning activator or undef
   std::vector<Var> scope_stack_;       // open scopes, innermost last
   std::vector<Var> free_vars_;         // recycled variable pool
   std::vector<std::pair<Var, ScopeRec>> scopes_;  // live scopes
+  std::uint64_t scope_births_ = 0;           // scopes ever created
   std::vector<std::uint32_t> assump_stamp_;  // per var: last-solve marker
   std::uint32_t assump_epoch_ = 0;
 

@@ -34,7 +34,10 @@ namespace msu {
   X(retired_scopes)                \
   X(retired_clauses)               \
   X(reclaimed_bytes)               \
-  X(recycled_vars)
+  X(recycled_vars)                 \
+  X(shared_exported)               \
+  X(shared_imported)               \
+  X(shared_import_drops)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -69,6 +72,11 @@ struct SolverStats {
   std::int64_t retired_clauses = 0;  ///< clauses deleted by retirement
   std::int64_t reclaimed_bytes = 0;  ///< clause-storage bytes freed by retire
   std::int64_t recycled_vars = 0;    ///< variables returned to the free list
+
+  // Inter-solver clause sharing (portfolio; Solver::Options::share).
+  std::int64_t shared_exported = 0;  ///< learnt clauses offered to the pool
+  std::int64_t shared_imported = 0;  ///< foreign clauses attached
+  std::int64_t shared_import_drops = 0;  ///< foreign clauses already sat/void
 
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.

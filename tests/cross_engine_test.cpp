@@ -78,10 +78,13 @@ std::vector<std::pair<std::string, WcnfFormula>> structuredInstances() {
 
 TEST(CrossEngine, AllFinishersAgree) {
   const auto instances = structuredInstances();
+  // "portfolio4" races four diversified workers (base msu4-v2) with
+  // clause sharing: its optimum must agree with every sequential
+  // engine's on the whole corpus.
   const std::vector<std::string> engines{
       "msu4-v1", "msu4-v2", "msu4-seq", "msu4-tot", "msu3",
       "msu1",    "wmsu1",   "linear",   "binary",   "pbo",
-      "maxsatz"};
+      "maxsatz", "portfolio4"};
   for (const auto& [name, wcnf] : instances) {
     std::map<std::string, Weight> optima;
     for (const std::string& engine : engines) {

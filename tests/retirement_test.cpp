@@ -30,7 +30,7 @@ TEST(ScopeRetirement, PhysicalDeletionAndRecycling) {
 
   // Scoped constraint: at most one of xs (sequential counter: aux vars
   // plus long and binary clauses, all guarded and tagged).
-  const Lit act = sink.beginScope();
+  const ScopeHandle act = sink.beginScope();
   encodeAtMost(sink, xs, 1, CardEncoding::Sequential);
   sink.endScope(act);
   ASSERT_GT(s.numVars(), varsBefore);
@@ -52,7 +52,7 @@ TEST(ScopeRetirement, PhysicalDeletionAndRecycling) {
 
   // Retire: clauses (originals + learnt descendants + binaries) must be
   // physically gone and the scope variables recycled.
-  s.retire(act);
+  s.retire(act.activator());
   EXPECT_EQ(s.numClauses(), clausesBefore);
   EXPECT_EQ(s.numLearnts(), 0);
   const SolverStats& st = s.stats();
@@ -69,7 +69,7 @@ TEST(ScopeRetirement, PhysicalDeletionAndRecycling) {
   // Recycling: a fresh scope of the same shape reuses the freed
   // variables instead of growing the variable space.
   const int varsAfterRetire = s.numVars();
-  const Lit act2 = sink.beginScope();
+  const ScopeHandle act2 = sink.beginScope();
   encodeAtMost(sink, xs, 1, CardEncoding::Sequential);
   sink.endScope(act2);
   EXPECT_EQ(s.numVars(), varsAfterRetire);
@@ -96,7 +96,7 @@ TEST(ScopeRetirement, CoresRemainValidAcrossRetirement) {
     assumps.push_back(negLit(sel));
   }
 
-  const Lit act = sink.beginScope();
+  const ScopeHandle act = sink.beginScope();
   std::vector<Lit> firstVars;
   for (Var v = 0; v < 5; ++v) firstVars.push_back(posLit(v));
   encodeAtMost(sink, firstVars, 3, CardEncoding::Totalizer);
@@ -121,7 +121,7 @@ TEST(ScopeRetirement, CoresRemainValidAcrossRetirement) {
   // The scoped bound was assumed too, so the core is only guaranteed
   // unsatisfiable together with it — drop the bound by disabling the
   // scope and re-checking gives a clause-only core.
-  s.retire(act);
+  s.retire(act.activator());
   ASSERT_EQ(s.solve(assumps), lbool::False);
   const std::vector<int> coreAfter = coreIndices();
   ASSERT_FALSE(coreAfter.empty());
@@ -149,7 +149,7 @@ TEST(ScopeRetirement, SolverScopeFuzzMatchesOracle) {
     for (const Clause& c : base.clauses()) ok = ok && s.addClause(c);
 
     struct LiveScope {
-      Lit act;
+      ScopeHandle act;
       std::vector<Lit> lits;
       int k = 0;
       bool enforced = true;

@@ -16,6 +16,7 @@
 #include "core/bmo.h"
 #include "core/oll.h"
 #include "core/wlinear.h"
+#include "gen/graphs.h"
 #include "gen/random_cnf.h"
 #include "harness/factory.h"
 
@@ -422,6 +423,34 @@ TEST(BmoTest, AgreesWithOllOnBmoInstances) {
     ASSERT_EQ(a.status, MaxSatStatus::Optimum) << "round " << round;
     ASSERT_EQ(b.status, MaxSatStatus::Optimum) << "round " << round;
     EXPECT_EQ(a.cost, b.cost) << "round " << round;
+  }
+}
+
+TEST(OllTest, WeightedMaxCutChargeSplittingRegression) {
+  // Regression for the weighted charge bookkeeping: with successor
+  // bounds only created on *full* payment, partially paid sums leaked
+  // charge mass, the assumption set went weak, and OLL accepted a
+  // suboptimal max-cut model as the optimum (observed: cost 26 vs a
+  // true optimum of 25 on a 9-vertex weighted max-cut). The RC2-style
+  // fix pushes wmin onto the successor bound on every occurrence.
+  std::mt19937_64 rng(3);
+  for (int n = 5; n <= 9; ++n) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const Graph g = randomGraph(n, 0.6, seed * 7 + n);
+      std::vector<Weight> weights;
+      weights.reserve(g.edges.size());
+      for (std::size_t e = 0; e < g.edges.size(); ++e) {
+        weights.push_back(1 + static_cast<Weight>(rng() % 7));
+      }
+      const WcnfFormula w = maxCutInstance(g, weights);
+      const OracleResult truth = oracleMaxSat(w);
+      ASSERT_TRUE(truth.optimumCost.has_value());
+      OllSolver oll{MaxSatOptions{}};
+      const MaxSatResult r = oll.solve(w);
+      ASSERT_EQ(r.status, MaxSatStatus::Optimum) << n << "/" << seed;
+      EXPECT_EQ(r.cost, *truth.optimumCost) << n << "/" << seed;
+      EXPECT_EQ(w.cost(r.model), r.cost) << n << "/" << seed;
+    }
   }
 }
 
