@@ -1,0 +1,149 @@
+/// \file ablation_inprocess.cpp
+/// \brief Inprocessing ablation: does keeping the incremental oracle's
+///        clause database irredundant between solve calls pay for
+///        itself on the MaxSAT engines' workloads?
+///
+/// Runs msu4-v2 over the mixed suite with inprocessing off, on at the
+/// default interval, and on at more/less aggressive intervals, and
+/// reports solved counts, wall time and the inproc_* counters — the
+/// decision record for Options::inprocess and its interval lives in
+/// bench/README.md and points here.
+///
+/// Usage: ablation_inprocess [timeout_seconds] [size_scale] [per_family]
+///                           [--json [path]]
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/msu4.h"
+#include "harness/suite.h"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  msu::Solver::Options sat;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msu;
+
+  bool json = false;
+  std::string jsonPath = "BENCH_ablation_inprocess.json";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).ends_with(".json")) {
+        jsonPath = argv[++i];
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const double timeout =
+      positional.size() > 0 ? std::atof(positional[0].c_str()) : 1.0;
+  SuiteParams sp;
+  sp.sizeScale =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.5;
+  sp.perFamily = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 6;
+  const std::vector<Instance> suite = buildMixedSuite(sp);
+
+  std::vector<Variant> variants;
+  variants.push_back({"inprocess-off", {}});
+  variants.back().sat.inprocess = false;
+  {
+    Variant v{"inprocess-default", {}};
+    v.sat.inprocess = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"inprocess-eager", {}};
+    v.sat.inprocess = true;
+    v.sat.inprocess_interval = 50'000;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"inprocess-lazy", {}};
+    v.sat.inprocess = true;
+    v.sat.inprocess_interval = 2'000'000;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"subsume-only", {}};
+    v.sat.inprocess = true;
+    v.sat.inprocess_viv_props = 0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"viv-only", {}};
+    v.sat.inprocess = true;
+    v.sat.inprocess_occ_limit = 0;  // subsumption stage disabled
+    variants.push_back(v);
+  }
+
+  std::cout << "Inprocessing ablation under msu4-v2, " << suite.size()
+            << " instances, timeout " << timeout << " s\n\n";
+  std::cout << std::left << std::setw(20) << "variant" << std::right
+            << std::setw(9) << "aborted" << std::setw(9) << "solved"
+            << std::setw(9) << "passes" << std::setw(10) << "subsumed"
+            << std::setw(10) << "strength" << std::setw(10) << "vivified"
+            << std::setw(12) << "total t[s]" << '\n';
+
+  std::vector<benchjson::BenchRecord> records;
+  for (const Variant& v : variants) {
+    int aborted = 0;
+    int solved = 0;
+    SolverStats agg;
+    double total = 0.0;
+    for (const Instance& inst : suite) {
+      MaxSatOptions o;
+      o.sat = v.sat;
+      o.budget = Budget::wallClock(timeout);
+      Msu4Solver solver(o);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MaxSatResult r = solver.solve(inst.wcnf);
+      total += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+      agg += r.satStats;
+      if (r.status == MaxSatStatus::Unknown) {
+        ++aborted;
+      } else {
+        ++solved;
+      }
+    }
+    std::cout << std::left << std::setw(20) << v.name << std::right
+              << std::setw(9) << aborted << std::setw(9) << solved
+              << std::setw(9) << agg.inproc_passes << std::setw(10)
+              << agg.inproc_subsumed << std::setw(10)
+              << agg.inproc_strengthened << std::setw(10)
+              << agg.inproc_vivified << std::setw(12) << std::fixed
+              << std::setprecision(2) << total << '\n';
+
+    benchjson::BenchRecord rec;
+    rec.name = v.name;
+    rec.wallMs = total * 1e3;
+    rec.counters = {{"aborted", aborted}, {"solved", solved}};
+    agg.forEachField([&rec](const char* name, std::int64_t value) {
+      rec.counters.emplace_back(name, value);
+    });
+    records.push_back(rec);
+  }
+  if (json) {
+    if (!benchjson::writeJsonFile(jsonPath, "ablation_inprocess", records)) {
+      return 1;
+    }
+    std::cout << "\nwrote " << jsonPath << '\n';
+  }
+  return 0;
+}

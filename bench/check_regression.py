@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares a freshly measured bench JSON (written by `micro_sat --json`)
+against the committed reference and fails when the calibrated
+geometric-mean slowdown exceeds the tolerance.
+
+Wall clocks are not comparable across machines (the committed baseline
+is recorded wherever the last perf-relevant PR was developed; CI runs on
+whatever runner generation GitHub hands out), so the gate calibrates:
+the deterministic pure-UP benchmarks (names starting with `up-`) are
+conflict-free propagation waves whose wall time is a machine-speed
+probe, and the gated score is
+
+    geomean(search benchmarks' slowdown) / geomean(up-* slowdown).
+
+A uniformly slower runner cancels out; a code change that slows search
+does not. The calibration probes themselves are guarded separately: the
+`propagations` / `watch_bytes_visited` counters recorded for `up-*`
+cases are deterministic for identical code, so any drift there means
+the propagation core changed and `bench/BENCH_micro_sat.json` must be
+re-recorded in the same PR (which re-anchors the gate).
+
+Benchmarks present in the baseline but missing from the current run are
+a hard error: dropping the slow cases must not let a regression pass.
+
+Usage:
+  check_regression.py --baseline bench/BENCH_micro_sat.json \
+                      --current /tmp/BENCH_micro_sat.json \
+                      [--tolerance 0.15] [--calibration-prefix up-]
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import contextlib
+import json
+import math
+import signal
+import sys
+
+# Die quietly when the consumer closes the pipe (e.g. `... | head`).
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# Deterministic-for-identical-code counters of the calibration probes.
+GUARDED_COUNTERS = ("propagations", "watch_bytes_visited")
+
+
+def load_records(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for rec in data.get("records", []):
+        name = rec.get("name")
+        wall = rec.get("wall_ms")
+        if isinstance(name, str) and isinstance(wall, (int, float)) and wall > 0:
+            records[name] = {
+                "wall_ms": float(wall),
+                "counters": rec.get("counters", {}),
+            }
+    if not records:
+        print(f"error: no usable records in {path}", file=sys.stderr)
+        sys.exit(2)
+    return records
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference JSON (bench/BENCH_micro_sat.json)")
+    ap.add_argument("--current", required=True,
+                    help="freshly measured JSON to check")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed calibrated geomean slowdown (default 0.15)")
+    ap.add_argument("--calibration-prefix", default="up-",
+                    help="benchmark-name prefix of the machine-speed probes")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"error: benchmarks missing from current run: {missing}\n"
+              "(removing or renaming cases requires re-recording "
+              "bench/BENCH_micro_sat.json in the same PR)", file=sys.stderr)
+        sys.exit(2)
+    extra = sorted(set(cur) - set(base))
+    if extra:
+        print(f"warning: benchmarks not in the committed baseline are NOT "
+              f"gated: {extra}\n(re-record bench/BENCH_micro_sat.json to "
+              "bring them under the gate)")
+    common = sorted(set(base) & set(cur))
+
+    print(f"{'benchmark':<16}{'base[ms]':>12}{'cur[ms]':>12}{'ratio':>9}")
+    ratios = {}
+    for name in common:
+        r = cur[name]["wall_ms"] / base[name]["wall_ms"]  # > 1 = slower
+        ratios[name] = r
+        tag = "  (calibration)" if name.startswith(args.calibration_prefix) \
+            else ""
+        print(f"{name:<16}{base[name]['wall_ms']:>12.2f}"
+              f"{cur[name]['wall_ms']:>12.2f}{r:>8.2f}x{tag}")
+
+    calib_names = [n for n in common if n.startswith(args.calibration_prefix)]
+    gated_names = [n for n in common if n not in calib_names]
+    if not gated_names:
+        print("error: no gated benchmarks outside the calibration set",
+              file=sys.stderr)
+        sys.exit(2)
+
+    # Guard the calibration probes: their counters are deterministic, so
+    # drift means the propagation core changed without a re-recorded
+    # baseline — calibration would silently absorb exactly that change.
+    failed = False
+    for name in calib_names:
+        for key in GUARDED_COUNTERS:
+            b = base[name]["counters"].get(key)
+            c = cur[name]["counters"].get(key)
+            if b != c:
+                print(f"FAIL: {name}: deterministic counter '{key}' drifted "
+                      f"({b} -> {c}); the propagation core changed — "
+                      "re-record bench/BENCH_micro_sat.json in this PR",
+                      file=sys.stderr)
+                failed = True
+
+    machine = geomean([ratios[n] for n in calib_names]) if calib_names else 1.0
+    raw = geomean([ratios[n] for n in gated_names])
+    score = raw / machine
+    limit = 1.0 + args.tolerance
+    print(f"\nmachine-speed factor (geomean over {len(calib_names)} "
+          f"calibration probes): {machine:.3f}x")
+    print(f"raw geomean slowdown over {len(gated_names)} gated benchmarks: "
+          f"{raw:.3f}x")
+    print(f"calibrated slowdown: {score:.3f}x (limit {limit:.2f}x)")
+    if score > limit:
+        print(f"FAIL: calibrated geomean regression {score:.3f}x exceeds "
+              f"{limit:.2f}x", file=sys.stderr)
+        failed = True
+    if failed:
+        sys.exit(1)
+    print("OK: within tolerance")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

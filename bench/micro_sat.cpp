@@ -5,11 +5,15 @@
 ///        extraction latency.
 ///
 /// Usage: micro_sat [--reps N] [--json [path]] [--baseline path]
+///                  [--inprocess]
 ///
 ///   --json      write BENCH_micro_sat.json (per-benchmark wall time and
 ///               propagation counters) for the PR-over-PR perf trajectory
 ///   --baseline  compare against a previously recorded JSON (defaults to
 ///               bench/BASELINE_micro_sat.json when present)
+///   --inprocess force Options::inprocess on regardless of its default
+///               (the A/B lever behind the decision record in
+///               bench/README.md)
 ///
 /// Each benchmark runs `reps` times; the best wall time is reported so
 /// one-off scheduler noise does not pollute the trajectory.
@@ -108,10 +112,14 @@ std::vector<Case> buildCases() {
   return cases;
 }
 
+bool g_force_inprocess = false;
+
 /// One full run of a case on a fresh solver; returns wall seconds.
 double runOnce(const Case& c, SolverStats& statsOut) {
   const auto t0 = std::chrono::steady_clock::now();
-  Solver s;
+  Solver::Options opts;
+  if (g_force_inprocess) opts.inprocess = true;
+  Solver s(opts);
   // UP-throughput cases keep the chain variables out of the decision
   // heap so wall time measures propagation, not heap churn.
   while (s.numVars() < c.f.numVars()) {
@@ -188,9 +196,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--baseline" && i + 1 < argc) {
       baselinePath = argv[++i];
+    } else if (arg == "--inprocess") {
+      g_force_inprocess = true;
     } else {
       std::cerr << "usage: micro_sat [--reps N] [--json [path]] "
-                   "[--baseline path]\n";
+                   "[--baseline path] [--inprocess]\n";
       return 2;
     }
   }

@@ -11,7 +11,10 @@
 ///                       chosen engine plus diversified alternatives,
 ///                       with learnt-clause sharing (default 1)
 ///     --timeout SECONDS wall-clock budget (default: none)
-///     --stats           print iteration/conflict statistics
+///     --inprocess       enable in-solver inprocessing between oracle
+///                       calls (Solver::Options::inprocess)
+///     --stats           print run statistics (engine + CDCL substrate
+///                       in one aligned block)
 ///     --no-model        suppress the v line
 ///     --list            list available engines
 
@@ -31,8 +34,8 @@ namespace {
 void usage() {
   std::cout <<
       "usage: maxsat_cli [--algo NAME] [--threads N] [--timeout SEC]\n"
-      "                  [--stats] [--preprocess] [--no-model] [--list]\n"
-      "                  [file.wcnf|-]\n";
+      "                  [--inprocess] [--stats] [--preprocess]\n"
+      "                  [--no-model] [--list] [file.wcnf|-]\n";
 }
 
 }  // namespace
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   std::string algo = "msu4-v2";
   int threads = 1;
   double timeout = 0.0;
+  bool inprocess = false;
   bool stats = false;
   bool preprocess = false;
   bool printModel = true;
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--timeout" && i + 1 < argc) {
       timeout = std::atof(argv[++i]);
+    } else if (arg == "--inprocess") {
+      inprocess = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--preprocess") {
@@ -115,6 +121,7 @@ int main(int argc, char** argv) {
 
   MaxSatOptions opts;
   if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
+  opts.sat.inprocess = inprocess;
   std::unique_ptr<MaxSatSolver> solver;
   PortfolioSolver* portfolio = nullptr;
   if (threads > 1 && algo.rfind("portfolio", 0) == 0) {
@@ -190,10 +197,11 @@ int main(int argc, char** argv) {
   }
 
   if (stats) {
-    std::cout << "c iterations " << result.iterations << "\n";
-    std::cout << "c cores      " << result.coresFound << "\n";
-    std::cout << "c sat-calls  " << result.satCalls << "\n";
-    printSatStats(std::cout, result.satStats, "CDCL substrate:", "c ");
+    // One aligned block: engine counters, then the CDCL substrate's
+    // search/propagation/lifecycle/inprocessing rows.
+    const EngineRunCounters eng{result.iterations, result.coresFound,
+                                result.satCalls};
+    printRunStats(std::cout, eng, result.satStats, "run statistics:", "c ");
   }
   return result.status == MaxSatStatus::Unknown ? 1 : 0;
 }

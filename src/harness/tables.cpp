@@ -158,18 +158,27 @@ void printScatterSummary(std::ostream& out,
   }
 }
 
+namespace {
+
+// One shared row formatter so every caller's labels and values stay in
+// the same columns — the whole point of the unified block.
+void printStatRow(std::ostream& out, const std::string& linePrefix,
+                  const char* label, std::int64_t value) {
+  out << linePrefix << "  " << std::left << std::setw(24) << label
+      << std::right << std::setw(14) << value << '\n';
+}
+
 // Deliberately hand-formatted rather than driven by
 // SolverStats::forEachField: the table groups and indents related rows
-// (binary/long under propagations) and uses human labels.
-void printSatStats(std::ostream& out, const SolverStats& stats,
-                   const std::string& title,
-                   const std::string& linePrefix) {
+// (binary/long under propagations) and uses human labels. Shared by
+// printSatStats and printRunStats so the label column stays aligned
+// whichever entry point a driver uses.
+void printSatStatsRows(std::ostream& out, const SolverStats& stats,
+                       const std::string& linePrefix) {
   const auto row = [&out, &linePrefix](const char* label,
                                        std::int64_t value) {
-    out << linePrefix << "  " << std::left << std::setw(24) << label
-        << std::right << std::setw(14) << value << '\n';
+    printStatRow(out, linePrefix, label, value);
   };
-  out << linePrefix << title << '\n';
   row("solves", stats.solves);
   row("decisions", stats.decisions);
   row("conflicts", stats.conflicts);
@@ -193,9 +202,35 @@ void printSatStats(std::ostream& out, const SolverStats& stats,
   row("retired clauses", stats.retired_clauses);
   row("reclaimed bytes", stats.reclaimed_bytes);
   row("recycled vars", stats.recycled_vars);
+  row("inproc passes", stats.inproc_passes);
+  row("  satisfied removed", stats.inproc_removed_sat);
+  row("  subsumed", stats.inproc_subsumed);
+  row("  strengthened", stats.inproc_strengthened);
+  row("  vivified", stats.inproc_vivified);
+  row("  literals removed", stats.inproc_lits_removed);
+  row("  probe propagations", stats.inproc_props);
   row("shared exported", stats.shared_exported);
   row("shared imported", stats.shared_imported);
   row("  dropped as satisfied", stats.shared_import_drops);
+}
+
+}  // namespace
+
+void printSatStats(std::ostream& out, const SolverStats& stats,
+                   const std::string& title,
+                   const std::string& linePrefix) {
+  out << linePrefix << title << '\n';
+  printSatStatsRows(out, stats, linePrefix);
+}
+
+void printRunStats(std::ostream& out, const EngineRunCounters& engine,
+                   const SolverStats& stats, const std::string& title,
+                   const std::string& linePrefix) {
+  out << linePrefix << title << '\n';
+  printStatRow(out, linePrefix, "iterations", engine.iterations);
+  printStatRow(out, linePrefix, "cores found", engine.cores);
+  printStatRow(out, linePrefix, "sat calls", engine.satCalls);
+  printSatStatsRows(out, stats, linePrefix);
 }
 
 }  // namespace msu

@@ -53,13 +53,29 @@ void printScatterSummary(std::ostream& out,
 
 /// Prints the CDCL substrate counters (search totals, the propagation
 /// breakdown from the flat-watch/binary-fast-path core, the learnt
-/// database's tier occupancy, and the encoding-lifecycle accounting —
-/// retired scopes/clauses, reclaimed bytes, recycled variables) as a
-/// labelled two-column table. Every
+/// database's tier occupancy, the encoding-lifecycle accounting —
+/// retired scopes/clauses, reclaimed bytes, recycled variables — and
+/// the inprocessing accounting) as a labelled two-column table. Every
 /// line starts with `linePrefix` (e.g. "c " to keep DIMACS-style
 /// solver output machine-skippable).
 void printSatStats(std::ostream& out, const SolverStats& stats,
                    const std::string& title,
+                   const std::string& linePrefix = "");
+
+/// Engine-level counters of one MaxSAT run (the driver-visible slice of
+/// MaxSatResult), so drivers need not depend on core/maxsat.h here.
+struct EngineRunCounters {
+  std::int64_t iterations = 0;  ///< main-loop iterations
+  std::int64_t cores = 0;       ///< unsatisfiable cores extracted
+  std::int64_t satCalls = 0;    ///< SAT oracle invocations
+};
+
+/// Prints engine-level and CDCL counters as ONE aligned block (shared
+/// label column), replacing the historical split into an ad-hoc engine
+/// section plus a separate substrate table: engine rows first, then
+/// every printSatStats row, all under a single title.
+void printRunStats(std::ostream& out, const EngineRunCounters& engine,
+                   const SolverStats& stats, const std::string& title,
                    const std::string& linePrefix = "");
 
 }  // namespace msu

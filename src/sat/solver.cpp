@@ -47,6 +47,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     polarity_[v] = 1;
     activity_[v] = 0.0;
     seen_[v] = 0;
+    frozen_[v] = 0;
     var_owner_[v] = kUndefVar;
     decision_[v] = decisionVar ? 1 : 0;
     if (order_heap_.contains(v)) {
@@ -64,6 +65,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     decision_.push_back(decisionVar ? 1 : 0);
     activity_.push_back(0.0);
     seen_.push_back(0);
+    frozen_.push_back(0);
     is_activator_.push_back(0);
     scope_index_.push_back(-1);
     var_owner_.push_back(kUndefVar);
@@ -299,7 +301,10 @@ bool Solver::addClause(std::span<const Lit> lits) {
   std::size_t j = 0;
   for (Lit p : ps) {
     assert(p.var() < numVars());
-    if (value(p) == lbool::True || p == ~prev) return true;  // satisfied/taut
+    if (value(p) == lbool::True ||
+        (prev != kUndefLit && p == ~prev)) {  // satisfied / tautology
+      return true;
+    }
     if (value(p) != lbool::False && p != prev) {
       ps[j++] = p;
       prev = p;
@@ -496,7 +501,7 @@ void Solver::cancelUntil(int level) {
   for (int i = trailSize() - 1; i >= trail_lim_[level]; --i) {
     const Var v = trail_[i].var();
     assigns_[v] = lbool::Undef;
-    if (opts_.phase_saving) {
+    if (opts_.phase_saving && !inprocessing_) {
       polarity_[v] = trail_[i].positive() ? 0 : 1;
     }
     if (decision_[v] && !order_heap_.contains(v)) order_heap_.insert(v);
@@ -1166,7 +1171,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   // in solver.h).
   appendScopeAssumptions(assumptions);
 
-  if (!simplify()) {
+  if (!simplify() || !maybeInprocess()) {
     assumptions_.clear();
     return lbool::False;
   }
@@ -1186,9 +1191,10 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   for (int restarts = 0; status == lbool::Undef; ++restarts) {
     if (budget_.timeExpired() || !withinBudget()) break;
     // Restart boundary: adopt foreign clauses while the trail holds
-    // level-0 facts only (attaching is trivially sound here).
+    // level-0 facts only (attaching is trivially sound here), and give
+    // inprocessing its periodic shot at the database.
     importSharedClauses();
-    if (!ok_) {
+    if (!ok_ || !maybeInprocess()) {
       status = lbool::False;
       break;
     }

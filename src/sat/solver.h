@@ -85,6 +85,24 @@
 /// activator-tagged scope variable is ever exported), and imports
 /// foreign clauses as learnt clauses at restart boundaries. See
 /// sat/share.h for the soundness contract.
+///
+/// ## Scope-aware inprocessing
+///
+/// With Options::inprocess, the solver periodically simplifies its own
+/// live clause database between oracle calls (the MaxSAT engines issue
+/// thousands of incremental solves against one solver, so satisfied,
+/// subsumed and over-long clauses otherwise accumulate and tax every
+/// later propagation): top-level-satisfied clause removal and false-
+/// literal stripping, SatELite-style backward subsumption and self-
+/// subsuming strengthening over occurrence lists, and learnt-clause
+/// vivification, all budgeted by propagations since the last pass.
+/// Every step is scope-aware — activator literals are never removed or
+/// probed, strengthened clauses keep their activator tag, a tagged
+/// clause is never strengthened against a strictly younger scope's
+/// clauses, and frozen variables (soft-clause selectors, assumption
+/// handles; see setFrozen) keep their literals — so physical retirement
+/// and the portfolio's export filter stay sound. See inprocess.cpp for
+/// the pass structure and the soundness argument.
 
 #pragma once
 
@@ -135,6 +153,32 @@ class Solver {
     int share_max_size = 8;  ///< export ceiling on clause length
     int share_max_lbd = 4;   ///< export ceiling on LBD (clauses > 2 lits)
     Var share_num_vars = 0;  ///< only clauses over vars < this qualify
+
+    /// Scope-aware inprocessing: at solve/restart boundaries (budgeted
+    /// by propagations since the last pass), remove top-level-satisfied
+    /// clauses, strip level-0-false literals, run backward subsumption
+    /// and self-subsuming strengthening over the arena via occurrence
+    /// lists, and vivify learnt clauses. All steps respect encoding
+    /// scopes (activator literals are never removed, strengthened
+    /// clauses keep their tag, a tagged clause is never resolved against
+    /// a younger scope's clauses) and frozen variables (see setFrozen).
+    /// Off = bit-for-bit the non-inprocessing solver. Off by default:
+    /// on the recorded suites the database reduction has not yet bought
+    /// back its pass cost (decision record in bench/README.md, numbers
+    /// in bench/ablation_inprocess.cpp).
+    bool inprocess = false;
+    /// Propagations between two inprocessing passes. A retirement
+    /// notification (requestInprocess) forces a pass at the next
+    /// boundary regardless of this budget.
+    std::int64_t inprocess_interval = 400'000;
+    /// Skip a clause's subsumption attempt when the occurrence list it
+    /// would scan exceeds this many candidates (cost ceiling per
+    /// clause); <= 0 disables the subsumption stage entirely.
+    int inprocess_occ_limit = 128;
+    /// Propagation budget of one vivification sweep; probes stop (and
+    /// resume round-robin next pass) once it is spent. <= 0 disables
+    /// the vivification stage.
+    std::int64_t inprocess_viv_props = 10'000;
 
     /// Abort with the offending scope id when a clause references a
     /// variable of a live scope that is neither open for emission nor
@@ -225,6 +269,32 @@ class Solver {
 
   /// Batch retirement: one database sweep for many scopes.
   void retireAll(std::span<const Lit> activators);
+
+  // ---- Inprocessing (see inprocess.cpp) --------------------------------
+
+  /// Marks a variable frozen: inprocessing never removes its literals
+  /// from any clause. Callers whose protocol depends on a literal's
+  /// textual presence (soft-clause selectors, assumption handles) freeze
+  /// it; scope activators are implicitly frozen.
+  void setFrozen(Var v, bool frozen) {
+    frozen_[v] = frozen ? 1 : 0;
+  }
+
+  /// True iff `v` is currently frozen for inprocessing.
+  [[nodiscard]] bool isFrozen(Var v) const { return frozen_[v] != 0; }
+
+  /// Asks for an inprocessing pass at the next solve/restart boundary,
+  /// regardless of the propagation budget (the oracle-session layer
+  /// calls this after scope retirement, when the database just shed a
+  /// structure and redundancy is likely). No-op unless
+  /// Options::inprocess is set.
+  void requestInprocess() { inproc_pending_ = true; }
+
+  /// Runs one inprocessing pass immediately. Must be called outside
+  /// search (decision level 0). Returns okay(); ignores the interval
+  /// budget but still honours Options::inprocess == false. Exposed for
+  /// tests and maintenance tooling; solve() triggers passes itself.
+  bool inprocessNow();
 
   // ---- Solving ---------------------------------------------------------
 
@@ -348,6 +418,18 @@ class Solver {
   void recycleVar(Var v);
   void checkCrossScopeRefs(std::span<const Lit> lits) const;
 
+  // Inprocessing internals (inprocess.cpp). All run at decision level 0.
+  [[nodiscard]] bool maybeInprocess();
+  [[nodiscard]] bool inprocessPass();
+  [[nodiscard]] bool inprocPropagateAndStrip();
+  void inprocStripList(std::vector<CRef>& refs);
+  [[nodiscard]] bool inprocSubsume();
+  [[nodiscard]] bool inprocVivify();
+  void detachLong(CRef ref);
+  [[nodiscard]] bool applyStrengthened(CRef ref, std::span<const Lit> newLits,
+                                       std::int64_t& shortenedCounter);
+  [[nodiscard]] std::uint64_t scopeBirthOf(Var tag) const;
+
   // Clause-sharing helpers (no-ops without Options::share).
   [[nodiscard]] bool sharing() const {
     return opts_.share != nullptr && opts_.share_num_vars > 0;
@@ -409,6 +491,7 @@ class Solver {
   // enforcement flips and retirement are O(1) per scope even when
   // thousands of scopes are live (msu1/wmsu1 keep one per soft clause).
   std::vector<char> is_activator_;     // per var: 1 = live scope guard
+  std::vector<char> frozen_;           // per var: 1 = inprocessing keep-out
   std::vector<int> scope_index_;       // per var: slot in scopes_ or -1
   std::vector<Var> var_owner_;         // per var: owning activator or undef
   std::vector<Var> scope_stack_;       // open scopes, innermost last
@@ -444,6 +527,15 @@ class Solver {
   bool ok_ = true;
   double max_learnts_ = 0.0;
   int simp_db_assigns_ = -1;  // trail size at last simplify()
+
+  // Inprocessing state. `inprocessing_` disables phase saving while a
+  // vivification probe unwinds, so probe trails don't perturb the
+  // search trajectory's saved polarities.
+  std::int64_t inproc_last_props_ = 0;  // stats_.propagations at last pass
+  std::size_t inproc_viv_cursor_ = 0;   // round-robin resume point
+  int inproc_db_assigns_ = -1;          // trail size at last strip sweep
+  bool inproc_pending_ = false;         // pass forced by requestInprocess()
+  bool inprocessing_ = false;           // inside a vivification probe
 
   Budget budget_;
   SolverStats stats_;

@@ -37,7 +37,14 @@ namespace msu {
   X(recycled_vars)                 \
   X(shared_exported)               \
   X(shared_imported)               \
-  X(shared_import_drops)
+  X(shared_import_drops)           \
+  X(inproc_passes)                 \
+  X(inproc_removed_sat)            \
+  X(inproc_subsumed)               \
+  X(inproc_strengthened)           \
+  X(inproc_vivified)               \
+  X(inproc_lits_removed)           \
+  X(inproc_props)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -77,6 +84,15 @@ struct SolverStats {
   std::int64_t shared_exported = 0;  ///< learnt clauses offered to the pool
   std::int64_t shared_imported = 0;  ///< foreign clauses attached
   std::int64_t shared_import_drops = 0;  ///< foreign clauses already sat/void
+
+  // In-solver inprocessing (Solver::Options::inprocess).
+  std::int64_t inproc_passes = 0;       ///< inprocessing passes executed
+  std::int64_t inproc_removed_sat = 0;  ///< top-level-satisfied clauses removed
+  std::int64_t inproc_subsumed = 0;     ///< clauses deleted by subsumption
+  std::int64_t inproc_strengthened = 0;  ///< clauses shortened by strengthening
+  std::int64_t inproc_vivified = 0;      ///< learnt clauses shortened by vivify
+  std::int64_t inproc_lits_removed = 0;  ///< literals removed by inprocessing
+  std::int64_t inproc_props = 0;  ///< propagations spent in vivify probes
 
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.

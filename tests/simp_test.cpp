@@ -249,6 +249,76 @@ TEST(SimpTest, PreprocessHardPreservesTheOptimum) {
   }
 }
 
+TEST(SimpTest, PreprocessHardWeightedModelReconstructionFuzz) {
+  // Weighted instances: preprocessHard must freeze every variable that
+  // occurs in a soft clause (their values ARE the objective), the
+  // optimum must match the plain oracle, and reconstruct() must extend
+  // an engine's model of the simplified instance to a full assignment
+  // that satisfies the original hard clauses at the same cost.
+  std::mt19937_64 rng(20260731);
+  int checked = 0;
+  for (int round = 0; round < 12; ++round) {
+    WcnfFormula w(10);
+    for (int i = 0; i < 16; ++i) {
+      Clause c;
+      for (int k = 0; k < 3; ++k) {
+        c.push_back(mkLit(static_cast<Var>(rng() % 10), (rng() & 1) != 0));
+      }
+      w.addHard(c);
+    }
+    for (int i = 0; i < 12; ++i) {
+      Clause c;
+      const int len = 1 + static_cast<int>(rng() % 2);
+      for (int k = 0; k < len; ++k) {
+        c.push_back(mkLit(static_cast<Var>(rng() % 10), (rng() & 1) != 0));
+      }
+      w.addSoft(c, 1 + static_cast<Weight>(rng() % 6));
+    }
+
+    auto [simplified, pre] = preprocessHard(w);
+    const OracleResult truth = oracleMaxSat(w);
+    if (pre.provedUnsat()) {
+      EXPECT_FALSE(truth.optimumCost.has_value()) << "round " << round;
+      continue;
+    }
+    ASSERT_TRUE(truth.optimumCost.has_value()) << "round " << round;
+
+    // Frozen soft variables: every variable of a soft clause must still
+    // mean the same thing, i.e. the soft clauses came through verbatim.
+    ASSERT_EQ(simplified.soft().size(), w.soft().size());
+    for (std::size_t i = 0; i < w.soft().size(); ++i) {
+      EXPECT_EQ(simplified.soft()[i].lits, w.soft()[i].lits)
+          << "round " << round << " soft " << i;
+      EXPECT_EQ(simplified.soft()[i].weight, w.soft()[i].weight);
+    }
+
+    auto solver = makeSolver("oll");
+    const MaxSatResult r = solver->solve(simplified);
+    ASSERT_EQ(r.status, MaxSatStatus::Optimum) << "round " << round;
+    EXPECT_EQ(r.cost, *truth.optimumCost) << "round " << round;
+
+    // Reconstruction: complete the engine model (hard-only variables may
+    // have been eliminated) and evaluate it on the ORIGINAL instance.
+    const Assignment full = pre.reconstruct(r.model);
+    const std::optional<Weight> fullCost = w.cost(full);
+    ASSERT_TRUE(fullCost.has_value())  // all original hards satisfied
+        << "round " << round;
+    EXPECT_EQ(*fullCost, *truth.optimumCost) << "round " << round;
+
+    // Frozen variables pass through reconstruction unchanged.
+    for (const SoftClause& sc : w.soft()) {
+      for (const Lit p : sc.lits) {
+        const auto v = static_cast<std::size_t>(p.var());
+        if (v < r.model.size() && r.model[v] != lbool::Undef) {
+          EXPECT_EQ(full[v], r.model[v]) << "round " << round;
+        }
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);  // the fuzz must exercise the satisfiable path
+}
+
 TEST(SimpTest, LargeRandomRoundTripUnderCdcl) {
   // Bigger instances than the oracle can check: compare CDCL verdicts.
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
