@@ -86,6 +86,33 @@ int main(int argc, char** argv) {
     v.sat.lbd_reduce = true;
     variants.push_back(v);
   }
+  {
+    // Warm-start A/B: the baseline runs the default (reuse on), this
+    // lever isolates what the assumption-prefix reuse is worth.
+    Variant v{"no-reuse-trail", {}};
+    v.sat.reuse_trail = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"ema-restart", {}};
+    v.sat.ema_restarts = true;
+    variants.push_back(v);
+  }
+  {
+    // lbd_reduce re-evaluated on the adaptive trajectory (the decision
+    // record in bench/README.md couples the two).
+    Variant v{"ema+lbd-reduce", {}};
+    v.sat.ema_restarts = true;
+    v.sat.lbd_reduce = true;
+    variants.push_back(v);
+  }
+  {
+    // Vivification re-evaluated on the adaptive trajectory (ditto).
+    Variant v{"ema+inprocess", {}};
+    v.sat.ema_restarts = true;
+    v.sat.inprocess = true;
+    variants.push_back(v);
+  }
 
   std::cout << "CDCL-option ablation under msu4-v2, " << suite.size()
             << " instances, timeout " << timeout << " s\n\n";

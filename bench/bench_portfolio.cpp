@@ -175,7 +175,8 @@ int main(int argc, char** argv) {
 
   double logSum = 0.0;
   for (const double s : speedups) logSum += std::log(s);
-  const double geomean = std::exp(logSum / static_cast<double>(speedups.size()));
+  const double geomean =
+      std::exp(logSum / static_cast<double>(speedups.size()));
   std::cout << "\ngeomean wall-time speedup (1 -> 4 workers): " << std::fixed
             << std::setprecision(2) << geomean << "x\n";
 

@@ -24,10 +24,20 @@ re-recorded in the same PR (which re-anchors the gate).
 Benchmarks present in the baseline but missing from the current run are
 a hard error: dropping the slow cases must not let a regression pass.
 
+A second mode gates A/B benches (micro_incremental): records come in
+`<case>/off` + `<case>/on` pairs, and the gated score is the geomean
+off/on wall ratio (the A/B *speedup*), which is machine-independent by
+construction — no calibration probes needed. The gate fails when the
+current speedup falls more than the tolerance below the committed one,
+or below an optional absolute floor (--min-speedup).
+
 Usage:
   check_regression.py --baseline bench/BENCH_micro_sat.json \
                       --current /tmp/BENCH_micro_sat.json \
                       [--tolerance 0.15] [--calibration-prefix up-]
+  check_regression.py --mode ab --baseline bench/BENCH_micro_incremental.json \
+                      --current /tmp/BENCH_micro_incremental.json \
+                      [--tolerance 0.15] [--min-speedup 1.05]
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
 """
@@ -73,6 +83,74 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def ab_speedups(records, off_suffix, on_suffix):
+    """Per-case off/on *throughput* ratio for paired A/B records.
+
+    The two legs may legitimately perform different numbers of oracle
+    calls (a warm start changes the search trajectory), so the gated
+    quantity is per-call latency (wall_ms / sat_calls) — the same
+    calls-per-second metric micro_incremental prints — falling back to
+    raw wall time only when a record carries no sat_calls counter.
+    """
+    def per_call(rec):
+        calls = rec["counters"].get("sat_calls")
+        if isinstance(calls, (int, float)) and calls > 0:
+            return rec["wall_ms"] / calls
+        return rec["wall_ms"]
+
+    speedups = {}
+    for name, rec in records.items():
+        if not name.endswith(off_suffix):
+            continue
+        case = name[: -len(off_suffix)]
+        on = records.get(case + on_suffix)
+        if on is None:
+            print(f"error: {name} has no {case}{on_suffix} pair",
+                  file=sys.stderr)
+            sys.exit(2)
+        speedups[case] = per_call(rec) / per_call(on)
+    if not speedups:
+        print("error: no A/B record pairs found", file=sys.stderr)
+        sys.exit(2)
+    return speedups
+
+
+def check_ab(base, cur, tolerance, min_speedup):
+    """Gate the A/B speedup (machine-independent) instead of wall time."""
+    base_sp = ab_speedups(base, "/off", "/on")
+    cur_sp = ab_speedups(cur, "/off", "/on")
+    missing = sorted(set(base_sp) - set(cur_sp))
+    if missing:
+        print(f"error: A/B cases missing from current run: {missing}",
+              file=sys.stderr)
+        sys.exit(2)
+    common = sorted(set(base_sp) & set(cur_sp))
+    print(f"{'case':<26}{'base speedup':>14}{'cur speedup':>14}")
+    for name in common:
+        print(f"{name:<26}{base_sp[name]:>13.2f}x{cur_sp[name]:>13.2f}x")
+    base_geo = geomean([base_sp[n] for n in common])
+    cur_geo = geomean([cur_sp[n] for n in common])
+    floor = base_geo / (1.0 + tolerance)
+    print(f"\ngeomean A/B speedup: committed {base_geo:.3f}x, "
+          f"current {cur_geo:.3f}x (floor {floor:.3f}x"
+          + (f", absolute floor {min_speedup:.2f}x" if min_speedup else "")
+          + ")")
+    failed = False
+    if cur_geo < floor:
+        print(f"FAIL: A/B speedup {cur_geo:.3f}x fell more than "
+              f"{tolerance:.0%} below the committed {base_geo:.3f}x",
+              file=sys.stderr)
+        failed = True
+    if min_speedup and cur_geo < min_speedup:
+        print(f"FAIL: A/B speedup {cur_geo:.3f}x is below the absolute "
+              f"floor {min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    if failed:
+        sys.exit(1)
+    print("OK: within tolerance")
+    sys.exit(0)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -83,10 +161,19 @@ def main():
                     help="allowed calibrated geomean slowdown (default 0.15)")
     ap.add_argument("--calibration-prefix", default="up-",
                     help="benchmark-name prefix of the machine-speed probes")
+    ap.add_argument("--mode", choices=("wall", "ab"), default="wall",
+                    help="wall: calibrated wall-time gate; ab: paired "
+                         "off/on speedup gate (machine-independent)")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="ab mode: absolute geomean speedup floor")
     args = ap.parse_args()
 
     base = load_records(args.baseline)
     cur = load_records(args.current)
+
+    if args.mode == "ab":
+        check_ab(base, cur, args.tolerance, args.min_speedup)
+        return
 
     missing = sorted(set(base) - set(cur))
     if missing:

@@ -5,7 +5,7 @@
 ///        extraction latency.
 ///
 /// Usage: micro_sat [--reps N] [--json [path]] [--baseline path]
-///                  [--inprocess]
+///                  [--inprocess] [--reuse-trail] [--restart luby|ema]
 ///
 ///   --json      write BENCH_micro_sat.json (per-benchmark wall time and
 ///               propagation counters) for the PR-over-PR perf trajectory
@@ -14,6 +14,15 @@
 ///   --inprocess force Options::inprocess on regardless of its default
 ///               (the A/B lever behind the decision record in
 ///               bench/README.md)
+///   --reuse-trail
+///               enable warm-started solves (Options::reuse_trail).
+///               OFF here regardless of the solver default: the up-*
+///               cases are the regression gate's machine-speed probes
+///               and must keep measuring cold re-propagation (warm
+///               waves are near-free and measured by micro_incremental
+///               instead).
+///   --restart   restart trajectory A/B (Options::ema_restarts);
+///               default luby
 ///
 /// Each benchmark runs `reps` times; the best wall time is reported so
 /// one-off scheduler noise does not pollute the trajectory.
@@ -113,12 +122,16 @@ std::vector<Case> buildCases() {
 }
 
 bool g_force_inprocess = false;
+bool g_reuse_trail = false;  // see the file comment: probes stay cold
+bool g_ema_restarts = false;
 
 /// One full run of a case on a fresh solver; returns wall seconds.
 double runOnce(const Case& c, SolverStats& statsOut) {
   const auto t0 = std::chrono::steady_clock::now();
   Solver::Options opts;
   if (g_force_inprocess) opts.inprocess = true;
+  opts.reuse_trail = g_reuse_trail;
+  opts.ema_restarts = g_ema_restarts;
   Solver s(opts);
   // UP-throughput cases keep the chain variables out of the decision
   // heap so wall time measures propagation, not heap churn.
@@ -198,9 +211,20 @@ int main(int argc, char** argv) {
       baselinePath = argv[++i];
     } else if (arg == "--inprocess") {
       g_force_inprocess = true;
+    } else if (arg == "--reuse-trail") {
+      g_reuse_trail = true;
+    } else if (arg == "--restart" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "ema") {
+        g_ema_restarts = true;
+      } else if (mode != "luby") {
+        std::cerr << "--restart wants luby or ema\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: micro_sat [--reps N] [--json [path]] "
-                   "[--baseline path] [--inprocess]\n";
+                   "[--baseline path] [--inprocess] [--reuse-trail] "
+                   "[--restart luby|ema]\n";
       return 2;
     }
   }

@@ -13,6 +13,15 @@
 ///     --timeout SECONDS wall-clock budget (default: none)
 ///     --inprocess       enable in-solver inprocessing between oracle
 ///                       calls (Solver::Options::inprocess)
+///     --reuse-trail / --no-reuse-trail
+///                       warm-started oracle calls: keep the solver
+///                       trail across solve calls and re-propagate only
+///                       the diverged assumption suffix (default: on;
+///                       Solver::Options::reuse_trail)
+///     --restart MODE    restart trajectory: luby (default), geom, or
+///                       ema (glucose-style adaptive restarts with
+///                       stable/focused mode switching and best-phase
+///                       rephasing; Solver::Options::ema_restarts)
 ///     --stats           print run statistics (engine + CDCL substrate
 ///                       in one aligned block)
 ///     --no-model        suppress the v line
@@ -34,8 +43,10 @@ namespace {
 void usage() {
   std::cout <<
       "usage: maxsat_cli [--algo NAME] [--threads N] [--timeout SEC]\n"
-      "                  [--inprocess] [--stats] [--preprocess]\n"
-      "                  [--no-model] [--list] [file.wcnf|-]\n";
+      "                  [--inprocess] [--reuse-trail|--no-reuse-trail]\n"
+      "                  [--restart luby|geom|ema] [--stats]\n"
+      "                  [--preprocess] [--no-model] [--list]\n"
+      "                  [file.wcnf|-]\n";
 }
 
 }  // namespace
@@ -47,6 +58,8 @@ int main(int argc, char** argv) {
   int threads = 1;
   double timeout = 0.0;
   bool inprocess = false;
+  bool reuseTrail = Solver::Options{}.reuse_trail;
+  std::string restart = "luby";
   bool stats = false;
   bool preprocess = false;
   bool printModel = true;
@@ -66,6 +79,16 @@ int main(int argc, char** argv) {
       timeout = std::atof(argv[++i]);
     } else if (arg == "--inprocess") {
       inprocess = true;
+    } else if (arg == "--reuse-trail") {
+      reuseTrail = true;
+    } else if (arg == "--no-reuse-trail") {
+      reuseTrail = false;
+    } else if (arg == "--restart" && i + 1 < argc) {
+      restart = argv[++i];
+      if (restart != "luby" && restart != "geom" && restart != "ema") {
+        std::cerr << "c --restart wants luby, geom or ema\n";
+        return 2;
+      }
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--preprocess") {
@@ -122,6 +145,9 @@ int main(int argc, char** argv) {
   MaxSatOptions opts;
   if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
   opts.sat.inprocess = inprocess;
+  opts.sat.reuse_trail = reuseTrail;
+  opts.sat.luby_restarts = restart != "geom";
+  opts.sat.ema_restarts = restart == "ema";
   std::unique_ptr<MaxSatSolver> solver;
   PortfolioSolver* portfolio = nullptr;
   if (threads > 1 && algo.rfind("portfolio", 0) == 0) {

@@ -14,6 +14,31 @@
 /// variable recycling; see solver.h), mirroring the source paper's
 /// philosophy of reusing learnt information across the iterations of a
 /// core-guided search through one incremental oracle interface.
+///
+/// ## Prefix-stability contract (warm-started oracle calls)
+///
+/// With Solver::Options::reuse_trail the solver keeps its trail across
+/// solve() boundaries and re-propagates only the suffix of the
+/// assumption sequence that changed since the previous call (see
+/// solver.h). The session keeps that reusable prefix maximal by
+/// emitting assumptions in a *canonical stable order*, every call:
+///
+///  1. tracker assumptions first, in ascending selector-variable order
+///     (SoftTracker::assumptions() enforces the order; relaxation only
+///     *removes* elements, so the prefix up to the first newly relaxed
+///     clause survives verbatim),
+///  2. the caller's `extra` assumptions next (engines keep these
+///     stable-ordered too — bound literals change only when the bound
+///     moves),
+///  3. live scope activators last, appended by the solver itself in
+///     scope-creation order.
+///
+/// Engines must not reshuffle assumption sets between calls: a
+/// permutation is semantically identical but destroys the common
+/// prefix and with it the reuse. Retirement (retire/retireAll) and
+/// inprocessing passes rewrite the clause database and invalidate the
+/// saved prefix explicitly — the first solve after either starts from
+/// the root, by design.
 
 #pragma once
 

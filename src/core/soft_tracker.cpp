@@ -46,6 +46,16 @@ std::vector<Lit> SoftTracker::assumptions() const {
   for (int i = 0; i < numSoft(); ++i) {
     if (!isRelaxed(i)) out.push_back(~selectors_[static_cast<std::size_t>(i)]);
   }
+  // Canonical prefix-stable order (see the header contract): ascending
+  // selector variable. Construction already allocates selectors in
+  // ascending order, so the sort is a no-op guard — but the warm-start
+  // prefix reuse in the solver depends on the order, so it is enforced
+  // rather than assumed.
+  if (!std::is_sorted(out.begin(), out.end(),
+                      [](Lit a, Lit b) { return a.var() < b.var(); })) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](Lit a, Lit b) { return a.var() < b.var(); });
+  }
   return out;
 }
 
@@ -105,7 +115,8 @@ Assignment SoftTracker::originalModel(const std::vector<lbool>& model) const {
     const lbool val = model[static_cast<std::size_t>(v)];
     // Complete the model deterministically: unconstrained variables get
     // `false` so downstream cost evaluation sees a total assignment.
-    out[static_cast<std::size_t>(v)] = (val == lbool::Undef) ? lbool::False : val;
+    out[static_cast<std::size_t>(v)] =
+        (val == lbool::Undef) ? lbool::False : val;
   }
   return out;
 }

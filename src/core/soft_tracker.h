@@ -63,7 +63,14 @@ class SoftTracker {
   /// Number of relaxed clauses.
   [[nodiscard]] int numRelaxed() const { return num_relaxed_; }
 
-  /// Assumption vector enforcing every non-relaxed soft clause.
+  /// Assumption vector enforcing every non-relaxed soft clause, in
+  /// *canonical* order: ascending selector variable (enforced by a
+  /// stable sort, though construction already creates selectors in
+  /// ascending variable order). The order is part of the tracker's
+  /// contract — consecutive oracle calls differ only where clauses were
+  /// relaxed in between, so a warm-started solver
+  /// (Solver::Options::reuse_trail) reuses the maximal trail prefix;
+  /// see the prefix-stability contract in core/oracle_session.h.
   [[nodiscard]] std::vector<Lit> assumptions() const;
 
   /// Selector literals of all relaxed clauses (the blocking variables),

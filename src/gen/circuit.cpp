@@ -197,7 +197,8 @@ std::vector<Var> tseitinEncodeInto(const Circuit& circuit, CnfFormula& cnf,
   std::vector<Var> gateVar(static_cast<std::size_t>(circuit.numGates()),
                            kUndefVar);
   for (int i = 0; i < circuit.numInputs(); ++i) {
-    gateVar[static_cast<std::size_t>(i)] = inputVars[static_cast<std::size_t>(i)];
+    gateVar[static_cast<std::size_t>(i)] =
+        inputVars[static_cast<std::size_t>(i)];
   }
   std::vector<Var> fanin;
   for (int g = circuit.numInputs(); g < circuit.numGates(); ++g) {
@@ -289,7 +290,8 @@ std::vector<int> appendCircuit(Circuit& base, const Circuit& other) {
     std::vector<int> ins;
     ins.reserve(gate.fanin.size());
     for (int f : gate.fanin) ins.push_back(remap[static_cast<std::size_t>(f)]);
-    remap[static_cast<std::size_t>(g)] = base.addGate(gate.type, std::move(ins));
+    remap[static_cast<std::size_t>(g)] =
+        base.addGate(gate.type, std::move(ins));
   }
   return remap;
 }

@@ -104,7 +104,8 @@ struct TseitinResult {
 /// the given variables (enables sharing inputs across circuit copies).
 [[nodiscard]] std::vector<Var> tseitinEncodeInto(const Circuit& circuit,
                                                  CnfFormula& cnf,
-                                                 const std::vector<Var>& inputVars);
+                                                 const std::vector<Var>&
+                                                     inputVars);
 
 /// Semantics-preserving rewrite: applies De Morgan transformations and
 /// double-negation insertions driven by `seed`, yielding a structurally

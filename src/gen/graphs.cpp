@@ -37,8 +37,10 @@ Graph ringWithChords(int numVertices, int extraChords, std::uint64_t seed) {
   }
   int attempts = 8 * extraChords + 32;
   while (extraChords > 0 && attempts-- > 0) {
-    const int u = static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
-    const int v = static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
+    const int u =
+        static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
+    const int v =
+        static_cast<int>(rng() % static_cast<std::uint64_t>(numVertices));
     if (u == v) continue;
     const auto e = std::minmax(u, v);
     if (!seen.insert(e).second) continue;
@@ -134,7 +136,8 @@ WcnfFormula timetablingInstance(const TimetableParams& params) {
       const int slot = static_cast<int>(rng() % static_cast<std::uint64_t>(s));
       const Weight weight =
           1 + static_cast<Weight>(
-                  rng() % static_cast<std::uint64_t>(params.maxPreferenceWeight));
+                  rng() %
+                      static_cast<std::uint64_t>(params.maxPreferenceWeight));
       w.addSoft({posLit(var(ev, slot))}, weight);
     }
   }

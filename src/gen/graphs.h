@@ -44,7 +44,8 @@ struct Graph {
 /// part falsifies exactly one of them. With edge weights, both clauses
 /// carry the edge's weight. Optimum cost == total weight - max cut.
 [[nodiscard]] WcnfFormula maxCutInstance(const Graph& g,
-                                         const std::vector<Weight>& weights = {});
+                                         const std::vector<Weight>& weights =
+                                             {});
 
 /// Minimum vertex cover as partial MaxSAT: hard edge-coverage clauses
 /// `(u ∨ v)`, soft unit clauses `(¬v)` (prefer leaving vertices out).

@@ -94,10 +94,12 @@ std::vector<Instance> buildMixedSuite(const SuiteParams& params) {
   for (int i = 0; i < std::max(params.perFamily / 2, 2); ++i) {
     const int bits = scaled(8.0 + 6.0 * i, s);
     suite.push_back(Instance{numbered("adder-rc-ks", i), "arith",
-                             WcnfFormula::allSoft(adderEquivalenceMiter(bits))});
+                             WcnfFormula::allSoft(
+                                 adderEquivalenceMiter(bits))});
   }
   suite.push_back(Instance{"mult-comm-3", "arith",
-                           WcnfFormula::allSoft(multiplierCommutativityMiter(3))});
+                           WcnfFormula::allSoft(
+                               multiplierCommutativityMiter(3))});
 
   // Over-constrained random 3-SAT: a *control* family (not in the
   // paper's industrial suite) documenting the known crossover — B&B

@@ -180,9 +180,13 @@ void printSatStatsRows(std::ostream& out, const SolverStats& stats,
     printStatRow(out, linePrefix, label, value);
   };
   row("solves", stats.solves);
+  row("  reused trail lits", stats.reused_trail_lits);
   row("decisions", stats.decisions);
   row("conflicts", stats.conflicts);
   row("restarts", stats.restarts);
+  row("  mode (0L/1G/2F/3S)", stats.restart_mode);
+  row("  blocked", stats.restarts_blocked);
+  row("  mode switches", stats.mode_switches);
   row("propagations", stats.propagations);
   row("  binary", stats.binary_propagations);
   row("  long", stats.long_propagations);

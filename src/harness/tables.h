@@ -51,7 +51,8 @@ void printScatterSummary(std::ostream& out,
                          std::span<const ScatterPoint> points,
                          const std::string& xName, const std::string& yName);
 
-/// Prints the CDCL substrate counters (search totals, the propagation
+/// Prints the CDCL substrate counters (search totals including the
+/// warm-start trail reuse and restart-trajectory rows, the propagation
 /// breakdown from the flat-watch/binary-fast-path core, the learnt
 /// database's tier occupancy, the encoding-lifecycle accounting —
 /// retired scopes/clauses, reclaimed bytes, recycled variables — and

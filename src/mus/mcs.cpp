@@ -69,7 +69,9 @@ McsResult enumerateMcses(const CnfFormula& cnf, const McsOptions& options) {
       // Block this MCS and every superset: some member must be satisfied.
       Clause blocking;
       blocking.reserve(mcs.size());
-      for (int i : mcs) blocking.push_back(~indicators[static_cast<std::size_t>(i)]);
+      for (int i : mcs) {
+        blocking.push_back(~indicators[static_cast<std::size_t>(i)]);
+      }
       static_cast<void>(solver.addClause(blocking));
       result.mcses.push_back(std::move(mcs));
       if (options.maxCount > 0 &&

@@ -91,9 +91,10 @@ std::vector<PortfolioSolver::WorkerConfig> PortfolioSolver::buildConfigs()
       configs.push_back(std::move(cfg));
       continue;
     }
-    // Deterministic diversification: restart policy/pacing, phase
-    // saving and VSIDS decay. Mild by design — every configuration
-    // must stay a sensible general-purpose solver.
+    // Deterministic diversification: restart policy/pacing (including
+    // the adaptive EMA trajectory), phase saving and VSIDS decay. Mild
+    // by design — every configuration must stay a sensible
+    // general-purpose solver.
     PerturbRng rng((static_cast<std::uint64_t>(opts_.seed) << 32) ^
                    static_cast<std::uint64_t>(w));
     Solver::Options& sat = cfg.opts.sat;
@@ -104,9 +105,14 @@ std::vector<PortfolioSolver::WorkerConfig> PortfolioSolver::buildConfigs()
     sat.var_decay = kVarDecays[rng.next(4)];
     sat.phase_saving = rng.next(8) != 0;  // rarely off
     sat.lbd_reduce = rng.next(4) == 0;    // tiered learnt DB for variety
+    // A third of the perturbed workers race the adaptive restart
+    // trajectory (EMA + stable/focused switching + best-phase
+    // rephasing) against the fixed schedules.
+    sat.ema_restarts = rng.next(3) == 0;
     std::ostringstream os;
-    os << cfg.engine << " " << (sat.luby_restarts ? "luby" : "geom") << "/"
-       << sat.restart_base << " vd=" << sat.var_decay
+    os << cfg.engine << " "
+       << (sat.ema_restarts ? "ema" : (sat.luby_restarts ? "luby" : "geom"))
+       << "/" << sat.restart_base << " vd=" << sat.var_decay
        << (sat.phase_saving ? "" : " nophase")
        << (sat.lbd_reduce ? " lbd" : "");
     cfg.description = os.str();

@@ -96,7 +96,8 @@ void RupChecker::attach(int id) {
 void RupChecker::detach(int id) {
   DbClause& c = clauses_[static_cast<std::size_t>(id)];
   for (int slot = 0; slot < 2; ++slot) {
-    auto& ws = watches_[static_cast<std::size_t>((~c.lits[static_cast<std::size_t>(slot)]).index())];
+    auto& ws = watches_[static_cast<std::size_t>(
+        (~c.lits[static_cast<std::size_t>(slot)]).index())];
     ws.erase(std::remove(ws.begin(), ws.end(), id), ws.end());
   }
 }

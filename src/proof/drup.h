@@ -36,13 +36,16 @@ struct ProofLine {
 class InMemoryProof final : public ProofTracer {
  public:
   void axiom(std::span<const Lit> lits) override {
-    lines_.push_back({ProofLine::Kind::Axiom, Clause(lits.begin(), lits.end())});
+    lines_.push_back(
+        {ProofLine::Kind::Axiom, Clause(lits.begin(), lits.end())});
   }
   void lemma(std::span<const Lit> lits) override {
-    lines_.push_back({ProofLine::Kind::Lemma, Clause(lits.begin(), lits.end())});
+    lines_.push_back(
+        {ProofLine::Kind::Lemma, Clause(lits.begin(), lits.end())});
   }
   void deleted(std::span<const Lit> lits) override {
-    lines_.push_back({ProofLine::Kind::Delete, Clause(lits.begin(), lits.end())});
+    lines_.push_back(
+        {ProofLine::Kind::Delete, Clause(lits.begin(), lits.end())});
   }
 
   [[nodiscard]] const std::vector<ProofLine>& lines() const { return lines_; }

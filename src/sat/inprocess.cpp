@@ -121,16 +121,20 @@ std::uint64_t Solver::scopeBirthOf(Var tag) const {
 
 bool Solver::maybeInprocess() {
   if (!opts_.inprocess || !ok_) return ok_;
-  if (!inproc_pending_ &&
-      stats_.propagations - inproc_last_props_ < opts_.inprocess_interval) {
-    return true;
-  }
+  if (!inprocessDue()) return true;
   if (budget_.timeExpired()) return true;
   return inprocessPass();
 }
 
 bool Solver::inprocessNow() {
   if (!opts_.inprocess || !ok_) return ok_;
+  // A pass rewrites the clause database: a warm reused trail
+  // (Options::reuse_trail) is explicitly invalidated first, mirroring
+  // retirement. solve() itself cancels before its boundary passes.
+  if (decisionLevel() > 0) {
+    assert(opts_.reuse_trail);
+    cancelUntil(0);
+  }
   return inprocessPass();
 }
 
@@ -257,7 +261,8 @@ bool Solver::applyStrengthened(CRef ref, std::span<const Lit> newLits,
   // so the stats reflect outcomes, not attempts.
   ++shortenedCounter;
   stats_.inproc_lits_removed +=
-      static_cast<std::int64_t>(c.size()) - static_cast<std::int64_t>(ps.size());
+      static_cast<std::int64_t>(c.size()) -
+      static_cast<std::int64_t>(ps.size());
 
   traceLemma(ps);
   if (ps.empty()) {

@@ -32,7 +32,10 @@ double lubySequence(double y, int i) {
   return std::pow(y, seq);
 }
 
-Solver::Solver(const Options& opts) : opts_(opts), order_heap_(activity_) {}
+Solver::Solver(const Options& opts) : opts_(opts), order_heap_(activity_) {
+  restart_ema_.fast_alpha = opts_.ema_fast_alpha;
+  restart_ema_.slow_alpha = opts_.ema_slow_alpha;
+}
 
 Var Solver::newVar(bool decisionVar, bool scoped) {
   Var v;
@@ -45,6 +48,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     assert(assigns_[v] == lbool::Undef);
     vardata_[v] = VarData{};
     polarity_[v] = 1;
+    best_phase_[v] = 1;
     activity_[v] = 0.0;
     seen_[v] = 0;
     frozen_[v] = 0;
@@ -62,6 +66,7 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     assigns_.push_back(lbool::Undef);
     vardata_.push_back(VarData{});
     polarity_.push_back(1);  // default phase: assign false first
+    best_phase_.push_back(1);
     decision_.push_back(decisionVar ? 1 : 0);
     activity_.push_back(0.0);
     seen_.push_back(0);
@@ -115,7 +120,13 @@ bool Solver::isLiveScope(Lit activator) const {
 }
 
 void Solver::retireAll(std::span<const Lit> activators) {
-  assert(decisionLevel() == 0);
+  // Retirement rewrites the clause database wholesale: any warm reused
+  // trail (Options::reuse_trail) is invalidated here, explicitly, so
+  // the sweep below runs at level 0 as it always has.
+  if (decisionLevel() > 0) {
+    assert(opts_.reuse_trail);
+    cancelUntil(0);
+  }
   // Mark the activators and every scope-owned variable; collect the
   // recycling candidates.
   std::vector<char> marked(static_cast<std::size_t>(numVars()), 0);
@@ -289,23 +300,27 @@ void Solver::checkCrossScopeRefs(std::span<const Lit> lits) const {
 }
 
 bool Solver::addClause(std::span<const Lit> lits) {
-  assert(decisionLevel() == 0);
+  assert(opts_.reuse_trail || decisionLevel() == 0);
   if (!ok_) return false;
   if (opts_.check_cross_scope) checkCrossScopeRefs(lits);
   traceAxiom(lits);
 
-  // Sort and simplify against the level-0 assignment.
+  // Sort and simplify against the level-0 assignment. Over a warm
+  // reused trail only *root-fixed* literals qualify (rootValue ==
+  // value at level 0, so the cold path is unchanged): a literal true
+  // merely under the kept assumptions does not satisfy the clause
+  // permanently.
   std::vector<Lit> ps(lits.begin(), lits.end());
   std::sort(ps.begin(), ps.end());
   Lit prev = kUndefLit;
   std::size_t j = 0;
   for (Lit p : ps) {
     assert(p.var() < numVars());
-    if (value(p) == lbool::True ||
+    if (rootValue(p) == lbool::True ||
         (prev != kUndefLit && p == ~prev)) {  // satisfied / tautology
       return true;
     }
-    if (value(p) != lbool::False && p != prev) {
+    if (rootValue(p) != lbool::False && p != prev) {
       ps[j++] = p;
       prev = p;
     }
@@ -317,15 +332,20 @@ bool Solver::addClause(std::span<const Lit> lits) {
   if (ps.size() != lits.size()) traceLemma(ps);
 
   if (ps.empty()) {
+    if (decisionLevel() > 0) cancelUntil(0);
     ok_ = false;
     return false;
   }
   if (ps.size() == 1) {
+    // Units always enter at the root; a warm trail cannot be kept
+    // above a new top-level fact.
+    if (decisionLevel() > 0) cancelUntil(0);
     uncheckedEnqueue(ps[0]);
     ok_ = propagate().isNone();
     if (!ok_) traceLemma({});  // level-0 conflict refutes the database
     return ok_;
   }
+  if (decisionLevel() > 0) prepareWarmAttach(ps);
   if (ps.size() == 2) {
     attachBinary(ps[0], ps[1], /*learnt=*/false);
     return true;
@@ -334,6 +354,48 @@ bool Solver::addClause(std::span<const Lit> lits) {
   clauses_.push_back(ref);
   attachClause(ref);
   return true;
+}
+
+void Solver::prepareWarmAttach(std::vector<Lit>& ps) {
+  // Attaching over a warm trail is sound exactly when the clause is
+  // neither unit nor falsified under the current assignment and its
+  // watches sit on two non-false literals: backtracking can only grow
+  // the non-false count, so the watch invariant ("no clause is unit or
+  // falsified without being processed") holds from here on. When fewer
+  // than two literals are non-false, backtrack to the deepest level
+  // that unassigns enough of them — every root-false literal was
+  // already stripped, so the required level exists and is >= 0.
+  assert(decisionLevel() > 0 && ps.size() >= 2);
+  int nonFalse = 0;
+  int lvl1 = 0;  // highest false-literal level
+  int lvl2 = 0;  // second-highest false-literal level
+  for (const Lit p : ps) {
+    if (value(p) == lbool::False) {
+      const int l = level(p.var());
+      assert(l > 0);
+      if (l > lvl1) {
+        lvl2 = lvl1;
+        lvl1 = l;
+      } else if (l > lvl2) {
+        lvl2 = l;
+      }
+    } else {
+      ++nonFalse;
+    }
+  }
+  if (nonFalse < 2) {
+    const int target = (nonFalse == 0 ? lvl2 : lvl1) - 1;
+    cancelUntil(std::max(target, 0));
+  }
+  // Move two non-false literals into the watch slots.
+  std::size_t filled = 0;
+  for (std::size_t k = 0; k < ps.size() && filled < 2; ++k) {
+    if (value(ps[k]) != lbool::False) {
+      std::swap(ps[filled], ps[k]);
+      ++filled;
+    }
+  }
+  assert(filled == 2);
 }
 
 void Solver::attachClause(CRef ref) {
@@ -769,9 +831,11 @@ Var Solver::learntTagFor(std::span<const Lit> lits) const {
 
 void Solver::recordLearnt(std::span<const Lit> learntClause) {
   if (learntClause.size() == 1) {
+    last_learnt_lbd_ = 1;
     uncheckedEnqueue(learntClause[0]);
     maybeExportLearnt(learntClause, 1);
   } else if (learntClause.size() == 2) {
+    last_learnt_lbd_ = 2;
     attachBinary(learntClause[0], learntClause[1], /*learnt=*/true);
     uncheckedEnqueue(learntClause[0], Reason::binary(learntClause[1]));
     maybeExportLearnt(learntClause, 2);
@@ -780,6 +844,7 @@ void Solver::recordLearnt(std::span<const Lit> learntClause) {
     const CRef ref = arena_.alloc(learntClause, /*learnt=*/true, tag);
     ClauseRefView c = arena_[ref];
     const std::uint32_t lbd = computeLbd(learntClause);
+    last_learnt_lbd_ = lbd;
     maybeExportLearnt(learntClause, lbd);
     c.setLbd(lbd);
     const std::uint32_t tier =
@@ -1094,6 +1159,14 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
         traceLemma({});  // conflict below all assumptions: refutation
         return lbool::False;
       }
+      const int confTrail =
+          conflictsBeforeRestart < 0 ? trailSize() : 0;  // adaptive only
+      if (conflictsBeforeRestart < 0 && confTrail > best_trail_) {
+        // Remember the deepest assignment as the best phase NOW, while
+        // the trail still holds it — the backtrack below discards it.
+        best_trail_ = confTrail;
+        captureBestPhase();
+      }
 
       int backtrackLevel = 0;
       analyze(confl, learnt_scratch_, backtrackLevel);
@@ -1104,15 +1177,34 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
       varDecayActivity();
       claDecayActivity();
 
+      if (conflictsBeforeRestart < 0) {
+        // Adaptive (EMA) segment: feed the restart trigger and block
+        // restarts while the assignment is unusually deep (glucose's
+        // trail heuristic — the solver looks close to a model, let it
+        // dig).
+        restart_ema_.update(static_cast<double>(last_learnt_lbd_));
+        trail_ema_.update(static_cast<double>(confTrail),
+                          opts_.ema_trail_alpha);
+        if (conflictC >= opts_.ema_min_conflicts &&
+            static_cast<double>(confTrail) >
+                opts_.ema_block_margin * trail_ema_.value) {
+          restart_ema_.block();
+          ++stats_.restarts_blocked;
+        }
+      }
+
       if ((stats_.conflicts & 255) == 0 && budget_.timeExpired()) {
         cancelUntil(0);
         return lbool::Undef;
       }
     } else {
       // No conflict.
-      if ((conflictsBeforeRestart >= 0 &&
-           conflictC >= conflictsBeforeRestart) ||
-          !withinBudget()) {
+      const bool restartNow =
+          conflictsBeforeRestart >= 0
+              ? conflictC >= conflictsBeforeRestart
+              : (conflictC >= opts_.ema_min_conflicts &&
+                 restart_ema_.shouldRestart(opts_.ema_margin));
+      if (restartNow || !withinBudget()) {
         cancelUntil(0);
         return lbool::Undef;
       }
@@ -1170,8 +1262,42 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   // guard, so every learnt descendant carries it (see the file comment
   // in solver.h).
   appendScopeAssumptions(assumptions);
+  stats_.restart_mode = restartModeGauge();
 
-  if (!simplify() || !maybeInprocess()) {
+  // Warm start (Options::reuse_trail): the previous solve left its
+  // trail in place, and level i of it corresponds to
+  // prev_assumptions_[i-1]. Keep the longest prefix of levels whose
+  // assumptions the new sequence repeats verbatim and backtrack only to
+  // the first divergence — unless an inprocessing pass is due, which
+  // rewrites the database and needs (and invalidates down to) the root.
+  if (decisionLevel() > 0) {
+    assert(opts_.reuse_trail);
+    int keep = 0;
+    // A due inprocessing pass needs the root. So do shared-clause
+    // imports (they attach at level 0 only): a stream of short warm
+    // solves might otherwise never reach a restart boundary, deferring
+    // the portfolio's clause exchange indefinitely — a sharing solver
+    // therefore takes a periodic cold start.
+    const bool importOverdue =
+        sharing() && ++warm_solves_since_import_ >= kWarmImportPeriod;
+    if (!inprocessDue() && !importOverdue) {
+      const int bound = std::min(
+          {static_cast<int>(prev_assumptions_.size()),
+           static_cast<int>(assumptions_.size()), decisionLevel()});
+      while (keep < bound && prev_assumptions_[static_cast<std::size_t>(
+                                 keep)] ==
+                                 assumptions_[static_cast<std::size_t>(keep)]) {
+        ++keep;
+      }
+    }
+    cancelUntil(keep);
+    if (decisionLevel() > 0) {
+      stats_.reused_trail_lits += trailSize() - trail_lim_[0];
+    }
+  }
+  prev_assumptions_ = assumptions_;
+
+  if (decisionLevel() == 0 && (!simplify() || !maybeInprocess())) {
     assumptions_.clear();
     return lbool::False;
   }
@@ -1192,18 +1318,34 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
     if (budget_.timeExpired() || !withinBudget()) break;
     // Restart boundary: adopt foreign clauses while the trail holds
     // level-0 facts only (attaching is trivially sound here), and give
-    // inprocessing its periodic shot at the database.
-    importSharedClauses();
-    if (!ok_ || !maybeInprocess()) {
-      status = lbool::False;
-      break;
+    // inprocessing its periodic shot at the database. A warm first
+    // segment skips both — they run at the next genuine restart.
+    if (decisionLevel() == 0) {
+      importSharedClauses();
+      warm_solves_since_import_ = 0;
+      if (!ok_ || !maybeInprocess()) {
+        status = lbool::False;
+        break;
+      }
     }
-    const double restartBase =
-        opts_.luby_restarts
-            ? lubySequence(2.0, restarts)
-            : std::pow(opts_.restart_inc, restarts);
-    status = search(
-        static_cast<std::int64_t>(restartBase * opts_.restart_base));
+    std::int64_t pace;
+    if (opts_.ema_restarts) {
+      maybeSwitchMode();
+      // Focused phases restart adaptively (EMA trigger inside search);
+      // stable phases restart on a long Luby schedule and dig.
+      pace = stable_mode_
+                 ? static_cast<std::int64_t>(
+                       lubySequence(2.0, stable_luby_idx_++) *
+                       opts_.restart_base * opts_.stable_restart_mult)
+                 : -1;
+    } else {
+      const double restartBase =
+          opts_.luby_restarts
+              ? lubySequence(2.0, restarts)
+              : std::pow(opts_.restart_inc, restarts);
+      pace = static_cast<std::int64_t>(restartBase * opts_.restart_base);
+    }
+    status = search(pace);
     ++stats_.restarts;
     max_learnts_ *= opts_.learntsize_inc;
   }
@@ -1216,9 +1358,41 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
     ok_ = false;
   }
 
-  cancelUntil(0);
+  // Warm-started solvers keep the trail for the next call; everyone
+  // else rewinds to the root as before.
+  if (!opts_.reuse_trail) cancelUntil(0);
   assumptions_.clear();
   return status;
+}
+
+void Solver::maybeSwitchMode() {
+  if (mode_interval_ == 0) {
+    // First solve in EMA mode: start focused, schedule the first switch.
+    mode_interval_ = opts_.mode_switch_conflicts;
+    next_mode_switch_ = stats_.conflicts + mode_interval_;
+  }
+  if (stats_.conflicts >= next_mode_switch_) {
+    stable_mode_ = !stable_mode_;
+    ++stats_.mode_switches;
+    mode_interval_ *= 2;
+    next_mode_switch_ = stats_.conflicts + mode_interval_;
+    if (stable_mode_) {
+      // Entering a stable phase: adopt the deepest trail's polarities
+      // (best-phase rephasing) and restart the stable Luby schedule.
+      polarity_ = best_phase_;
+      stable_luby_idx_ = 0;
+    } else {
+      // Fresh focused phase: capture a new best trail from scratch.
+      best_trail_ = 0;
+    }
+  }
+  stats_.restart_mode = restartModeGauge();
+}
+
+void Solver::captureBestPhase() {
+  for (const Lit p : trail_) {
+    best_phase_[p.var()] = p.positive() ? 0 : 1;
+  }
 }
 
 int Solver::numFixedVars() const {

@@ -103,6 +103,53 @@
 /// handles; see setFrozen) keep their literals — so physical retirement
 /// and the portfolio's export filter stay sound. See inprocess.cpp for
 /// the pass structure and the soundness argument.
+///
+/// ## Warm-started oracle calls (assumption-prefix trail reuse)
+///
+/// The MaxSAT engines drive one solver through thousands of solve calls
+/// whose assumption sequences overlap almost entirely call-to-call
+/// (soft-clause selectors in canonical variable order, scope
+/// activators, bound literals). With Options::reuse_trail, solve() no
+/// longer rewinds to decision level 0 between calls: the trail is kept
+/// across the solve boundary, and the next call backtracks only to the
+/// first position where its assumption sequence diverges from the
+/// previous one — the shared prefix of assumption decisions and all
+/// their propagations is reused verbatim (counted in
+/// SolverStats::reused_trail_lits). Soundness rests on three rules:
+///
+///  * Levels 1..k are kept only when they correspond 1:1 to the first k
+///    assumptions of *both* calls (search creates exactly one level per
+///    assumption, in order, before any free decision), so core
+///    extraction over kept levels still names assumptions only.
+///  * addClause() accepts clauses over a non-empty trail: the clause is
+///    simplified against the *root* (level-0) assignment only, and if
+///    fewer than two of its literals are non-false under the current
+///    assignment, the solver first backtracks to the deepest level at
+///    which two are — restoring the two-watched-literal invariant that
+///    no clause is unit or falsified without being processed. Unit
+///    clauses always re-enter at level 0.
+///  * Retirement (retire/retireAll) and inprocessing passes rewrite the
+///    clause database wholesale; both invalidate the saved prefix
+///    explicitly by cancelling to level 0 first.
+///
+/// With reuse_trail off, solve() ends with cancelUntil(0) and the
+/// solver is bit-for-bit the non-reusing engine.
+///
+/// ## Adaptive restarts (EMA trajectory retune)
+///
+/// With Options::ema_restarts, restart pacing switches from the fixed
+/// Luby/geometric schedule to a glucose-style adaptive trigger: fast
+/// and slow exponential moving averages of learnt-clause LBD (see
+/// RestartEma) fire a restart when the recent average exceeds
+/// ema_margin times the long-run average, and a trail-size EMA blocks
+/// restarts while the assignment is unusually deep (the solver looks
+/// close to a model). On top, the solver alternates CaDiCaL-style
+/// between a *focused* mode (EMA restarts) and a *stable* mode
+/// (Luby-paced long restarts) on a doubling conflict interval, and
+/// entering stable mode rephases saved polarities to the best (deepest)
+/// trail seen since the last focused phase. Off by default; the
+/// restart_mode/restarts_blocked/mode_switches counters expose the
+/// trajectory.
 
 #pragma once
 
@@ -123,6 +170,50 @@ namespace msu {
 
 class ClauseShare;
 
+/// Exponential moving average seeded by its first sample (no bias
+/// correction needed: the first update assigns, later ones blend).
+struct Ema {
+  double value = 0.0;
+  std::int64_t samples = 0;
+
+  void update(double x, double alpha) {
+    ++samples;
+    if (samples == 1) {
+      value = x;
+    } else {
+      value += alpha * (x - value);
+    }
+  }
+};
+
+/// Glucose-style adaptive-restart trigger: a fast and a slow EMA of the
+/// learnt-clause LBD stream. The fast average tracks the current burst,
+/// the slow one the long-run trajectory; when the burst is `margin`
+/// times worse than the trajectory, the search has wandered into a bad
+/// region and a restart is due. block() caps the fast average back to
+/// the slow one — the trail-size heuristic calls it when the assignment
+/// is unusually deep (the solver looks close to a model), postponing
+/// restarts until the fast average climbs anew.
+struct RestartEma {
+  double fast_alpha = 1.0 / 32.0;
+  double slow_alpha = 1.0 / 8192.0;
+  Ema fast;
+  Ema slow;
+
+  void update(double lbd) {
+    fast.update(lbd, fast_alpha);
+    slow.update(lbd, slow_alpha);
+  }
+
+  [[nodiscard]] bool shouldRestart(double margin) const {
+    return slow.samples > 0 && fast.value > margin * slow.value;
+  }
+
+  void block() {
+    if (fast.value > slow.value) fast.value = slow.value;
+  }
+};
+
 /// Incremental CDCL solver.
 class Solver {
  public:
@@ -140,6 +231,34 @@ class Solver {
     double garbage_frac = 0.20;    ///< GC when wasted/size exceeds this
     bool lbd_reduce = false;       ///< tiered (core/tier2/local) reduceDB
     int tier2_lbd = 6;             ///< max LBD admitted into tier2
+
+    /// Warm-started oracle calls: keep the trail across solve()
+    /// boundaries and backtrack only to the first divergence between
+    /// the previous and the next assumption sequence (see the file
+    /// comment). On by default — the incremental MaxSAT engines are the
+    /// library's workload and the reused prefix is pure savings there;
+    /// off restores the cancelUntil(0)-per-solve engine bit-for-bit.
+    bool reuse_trail = true;
+
+    /// Adaptive EMA restarts + stable/focused mode switching + best-
+    /// phase rephasing instead of the fixed Luby/geometric schedule
+    /// (see the file comment). Off by default: on the recorded engine
+    /// suite the adaptive trajectory is a sidegrade (decision record in
+    /// bench/README.md); the portfolio diversifies workers across both
+    /// modes.
+    bool ema_restarts = false;
+    double ema_fast_alpha = 1.0 / 32.0;    ///< fast LBD EMA smoothing
+    double ema_slow_alpha = 1.0 / 8192.0;  ///< slow LBD EMA smoothing
+    double ema_margin = 1.25;    ///< restart when fast > margin * slow
+    int ema_min_conflicts = 50;  ///< conflicts per segment before firing
+    double ema_block_margin = 1.4;  ///< block when trail > margin * avg
+    double ema_trail_alpha = 1.0 / 4096.0;  ///< trail-size EMA smoothing
+    /// Conflicts until the first stable/focused mode switch; the
+    /// interval doubles at every switch, so late phases are long.
+    std::int64_t mode_switch_conflicts = 1000;
+    /// Luby scale of stable-mode restarts, in multiples of
+    /// restart_base (stable phases restart rarely by design).
+    int stable_restart_mult = 8;
 
     /// Optional proof receiver (non-owning; must outlive the solver).
     /// Attach before adding clauses so the axiom trace is complete.
@@ -229,6 +348,13 @@ class Solver {
   /// All referenced variables must have been created with newVar().
   /// While a scope is open the clause is tagged with its activator
   /// (callers append the guard literal; see ClauseSink).
+  ///
+  /// With Options::reuse_trail the call is legal over a warm (non-root)
+  /// trail: the clause is simplified against the level-0 assignment
+  /// only and, when necessary, the solver backtracks just far enough
+  /// that two of its literals are non-false before attaching (see the
+  /// file comment); unit clauses re-enter at level 0. Without
+  /// reuse_trail the historical contract holds: decision level 0 only.
   bool addClause(std::span<const Lit> lits);
   bool addClause(std::initializer_list<Lit> lits) {
     return addClause(std::span<const Lit>(lits.begin(), lits.size()));
@@ -263,8 +389,10 @@ class Solver {
 
   /// Physically deletes every clause of the scope (originals, learnt
   /// descendants and binaries) and recycles its variables. Must be
-  /// called outside search (decision level 0) with the scope closed.
-  /// The freed arena words are reclaimed at the next GC.
+  /// called outside search with the scope closed; a warm reused trail
+  /// (Options::reuse_trail) is explicitly invalidated — retirement
+  /// cancels to level 0 before sweeping. The freed arena words are
+  /// reclaimed at the next GC.
   void retire(Lit activator) { retireAll({&activator, 1}); }
 
   /// Batch retirement: one database sweep for many scopes.
@@ -390,7 +518,9 @@ class Solver {
     return static_cast<int>(trail_lim_.size());
   }
   void newDecisionLevel() { trail_lim_.push_back(trailSize()); }
-  [[nodiscard]] int trailSize() const { return static_cast<int>(trail_.size()); }
+  [[nodiscard]] int trailSize() const {
+    return static_cast<int>(trail_.size());
+  }
   void uncheckedEnqueue(Lit p, Reason from = Reason::none());
   [[nodiscard]] Reason propagate();
   void cancelUntil(int level);
@@ -409,6 +539,23 @@ class Solver {
   void garbageCollectIfNeeded();
   void relocAll(ClauseArena& to);
 
+  // Warm-start / adaptive-restart helpers.
+  /// Root-level value of `p`: its assignment when fixed at level 0,
+  /// Undef otherwise. Equal to value(p) whenever the trail is at level
+  /// 0, which keeps the cold addClause path byte-identical.
+  [[nodiscard]] lbool rootValue(Lit p) const {
+    return (assigns_[p.var()] != lbool::Undef && level(p.var()) == 0)
+               ? value(p)
+               : lbool::Undef;
+  }
+  void prepareWarmAttach(std::vector<Lit>& ps);
+  void maybeSwitchMode();
+  void captureBestPhase();
+  [[nodiscard]] std::int64_t restartModeGauge() const {
+    if (!opts_.ema_restarts) return opts_.luby_restarts ? 0 : 1;
+    return stable_mode_ ? 3 : 2;
+  }
+
   // Lifecycle helpers.
   [[nodiscard]] Var currentScopeTag() const {
     return scope_stack_.empty() ? kUndefVar : scope_stack_.back();
@@ -419,6 +566,15 @@ class Solver {
   void checkCrossScopeRefs(std::span<const Lit> lits) const;
 
   // Inprocessing internals (inprocess.cpp). All run at decision level 0.
+  /// True iff the next solve/restart boundary should run a pass: the
+  /// one trigger condition shared by maybeInprocess() and solve()'s
+  /// warm-start path (which must invalidate the reusable prefix before
+  /// a pass can run).
+  [[nodiscard]] bool inprocessDue() const {
+    return opts_.inprocess && ok_ &&
+           (inproc_pending_ || stats_.propagations - inproc_last_props_ >=
+                                   opts_.inprocess_interval);
+  }
   [[nodiscard]] bool maybeInprocess();
   [[nodiscard]] bool inprocessPass();
   [[nodiscard]] bool inprocPropagateAndStrip();
@@ -515,6 +671,27 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<Lit> core_;
   std::vector<lbool> model_;
+
+  // Warm-start state: the previous solve's full assumption sequence
+  // (user assumptions + auto-appended scope activators). While the
+  // trail is warm, kept level i corresponds to prev_assumptions_[i-1].
+  // A sharing solver additionally counts consecutive warm starts and
+  // forces a cold one every kWarmImportPeriod solves, so shared-clause
+  // imports (level-0 only) are never deferred indefinitely.
+  std::vector<Lit> prev_assumptions_;
+  static constexpr std::int64_t kWarmImportPeriod = 16;
+  std::int64_t warm_solves_since_import_ = 0;
+
+  // Adaptive-restart state (Options::ema_restarts).
+  RestartEma restart_ema_;
+  Ema trail_ema_;                      // trail size at conflicts
+  bool stable_mode_ = false;           // stable vs. focused phase
+  std::int64_t mode_interval_ = 0;     // 0 = switching not initialised
+  std::int64_t next_mode_switch_ = 0;  // stats_.conflicts threshold
+  int stable_luby_idx_ = 0;            // Luby index of stable restarts
+  std::vector<char> best_phase_;       // polarity of the deepest trail
+  int best_trail_ = 0;                 // deepest trail this focused phase
+  std::uint32_t last_learnt_lbd_ = 0;  // LBD of the latest learnt clause
 
   // Analyze scratch (reserved once per solve, reused across conflicts).
   std::vector<Lit> analyze_toclear_;

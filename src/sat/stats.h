@@ -44,7 +44,10 @@ namespace msu {
   X(inproc_strengthened)           \
   X(inproc_vivified)               \
   X(inproc_lits_removed)           \
-  X(inproc_props)
+  X(inproc_props)                  \
+  X(reused_trail_lits)             \
+  X(restarts_blocked)              \
+  X(mode_switches)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -94,6 +97,14 @@ struct SolverStats {
   std::int64_t inproc_lits_removed = 0;  ///< literals removed by inprocessing
   std::int64_t inproc_props = 0;  ///< propagations spent in vivify probes
 
+  // Warm-started oracle calls + adaptive restarts (Options::reuse_trail
+  // / Options::ema_restarts). restart_mode is a gauge: 0 = Luby,
+  // 1 = geometric, 2 = EMA focused phase, 3 = EMA stable phase.
+  std::int64_t reused_trail_lits = 0;  ///< trail literals kept across solves
+  std::int64_t restart_mode = 0;       ///< gauge: current restart policy
+  std::int64_t restarts_blocked = 0;   ///< EMA restarts vetoed by trail depth
+  std::int64_t mode_switches = 0;      ///< stable/focused phase flips
+
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.
   template <typename F>
@@ -101,10 +112,14 @@ struct SolverStats {
 #define MSU_STATS_VISIT(name) f(#name, name);
     MSU_SOLVER_STATS_FIELDS(MSU_STATS_VISIT)
 #undef MSU_STATS_VISIT
+    f("restart_mode", restart_mode);
   }
 
-  /// Field-wise sum (gauges included — summing them across solvers
-  /// yields the combined live-clause population).
+  /// Field-wise sum. The `tier_*` gauges are included on purpose —
+  /// summing them across solvers yields the combined live-clause
+  /// population — but `restart_mode` is a categorical gauge (a mode
+  /// enum, not a quantity): merges keep the receiver's value, so a
+  /// portfolio merge reports the decisive worker's mode.
   SolverStats& operator+=(const SolverStats& o) {
 #define MSU_STATS_ADD(name) name += o.name;
     MSU_SOLVER_STATS_FIELDS(MSU_STATS_ADD)

@@ -16,7 +16,9 @@ namespace {
 /// Packs an integer into LSB-first input bits.
 std::vector<bool> toBits(std::uint64_t v, int bits) {
   std::vector<bool> out(static_cast<std::size_t>(bits));
-  for (int i = 0; i < bits; ++i) out[static_cast<std::size_t>(i)] = ((v >> i) & 1u) != 0;
+  for (int i = 0; i < bits; ++i) {
+    out[static_cast<std::size_t>(i)] = ((v >> i) & 1u) != 0;
+  }
   return out;
 }
 

@@ -199,7 +199,8 @@ TEST(FuzzMus, ExtractedMusesVerifyAtMediumScale) {
     // Spot-check minimality: dropping the first and last clause each
     // restores satisfiability (full isMus is quadratic; spot is enough
     // at this scale, the small-scale tests do the exhaustive version).
-    for (const std::size_t drop : {std::size_t{0}, r.clauseIndices.size() - 1}) {
+    for (const std::size_t drop :
+         {std::size_t{0}, r.clauseIndices.size() - 1}) {
       std::vector<int> sub;
       for (std::size_t j = 0; j < r.clauseIndices.size(); ++j) {
         if (j != drop) sub.push_back(r.clauseIndices[j]);

@@ -119,7 +119,9 @@ TEST(Circuit, TseitinConsistentWithSimulation) {
     load(s, enc.cnf);
     for (int t = 0; t < 4; ++t) {
       std::vector<bool> in(5);
-      for (int i = 0; i < 5; ++i) in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      for (int i = 0; i < 5; ++i) {
+        in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      }
       const std::vector<bool> vals = c.simulate(in);
       std::vector<Lit> assumps;
       for (int i = 0; i < 5; ++i) {
@@ -150,7 +152,9 @@ TEST(Circuit, RewritePreservesSemantics) {
     EXPECT_GT(r.numGates(), c.numGates());  // rewrites add structure
     for (int t = 0; t < 16; ++t) {
       std::vector<bool> in(6);
-      for (int i = 0; i < 6; ++i) in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      for (int i = 0; i < 6; ++i) {
+        in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      }
       EXPECT_EQ(c.evaluate(in), r.evaluate(in)) << "round " << round;
     }
   }
@@ -197,7 +201,9 @@ TEST(Miter, InequivalentCircuitsGiveSat) {
     std::mt19937_64 rng(7);
     for (int t = 0; t < 64 && !differs; ++t) {
       std::vector<bool> in(6);
-      for (int i = 0; i < 6; ++i) in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      for (int i = 0; i < 6; ++i) {
+        in[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+      }
       differs = c.evaluate(in) != faulty.evaluate(in);
     }
     if (!differs) continue;

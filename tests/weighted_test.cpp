@@ -34,7 +34,8 @@ WcnfFormula randomWeighted(std::uint64_t seed, Weight maxWeight,
   auto randClause = [&](int len) {
     Clause c;
     for (int k = 0; k < len; ++k) {
-      const Var v = static_cast<Var>(rng() % static_cast<std::uint64_t>(numVars));
+      const Var v =
+          static_cast<Var>(rng() % static_cast<std::uint64_t>(numVars));
       c.push_back(mkLit(v, (rng() & 1) != 0));
     }
     return c;
