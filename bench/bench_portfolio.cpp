@@ -24,6 +24,7 @@
 /// core it gave up.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -76,6 +77,33 @@ std::vector<Case> buildCases() {
                                    {.bits = 8, .steps = 16}))});
   cases.push_back({"bmc-7-14", WcnfFormula::allSoft(bmcCounterInstance(
                                    {.bits = 7, .steps = 14}))});
+  // Hard-rich instances: everything above is all-soft, and an all-soft
+  // instance has NO legally shareable clauses (only consequences of the
+  // shared hard part may cross workers — see par/clause_pool.h), so the
+  // sharing counters of those records are structurally zero. These two
+  // cases keep the clause-sharing path measured: a below-threshold hard
+  // random 3-SAT skeleton (satisfiable; the driver aborts on
+  // non-Optimum, so a regression here is loud) carrying a soft 3-clause
+  // load. The optimizer's refutations inside the hard skeleton learn
+  // prefix-pure clauses, which are the only legally exportable kind.
+  for (const auto& [vars, hardN, softN, seed] :
+       {std::array<int, 4>{48, 160, 120, 12},
+        std::array<int, 4>{40, 136, 110, 21}}) {
+    const CnfFormula hard =
+        randomKSat({.numVars = vars,
+                    .numClauses = hardN,
+                    .clauseLen = 3,
+                    .seed = static_cast<std::uint64_t>(seed)});
+    const CnfFormula soft =
+        randomKSat({.numVars = vars,
+                    .numClauses = softN,
+                    .clauseLen = 3,
+                    .seed = static_cast<std::uint64_t>(seed + 1)});
+    WcnfFormula w(vars);
+    for (int i = 0; i < hard.numClauses(); ++i) w.addHard(hard.clause(i));
+    for (int i = 0; i < soft.numClauses(); ++i) w.addSoft(soft.clause(i), 1);
+    cases.push_back({"mix3sat-" + std::to_string(vars), std::move(w)});
+  }
   return cases;
 }
 

@@ -1,0 +1,244 @@
+/// \file bench_service.cpp
+/// \brief Throughput/latency benchmark of the SolveService (src/svc):
+///        a fixed batch of small MaxSAT jobs is pushed through the
+///        service at 1, 2 and 4 workers, and the driver reports
+///        jobs/sec plus p50/p99 job latency (queue + solve). A fourth
+///        scenario runs the batch under a tight per-job deadline to
+///        price the abort path (watchdog + cooperative unwinding).
+///
+/// Usage: bench_service [--jobs N] [--json [path]]
+///
+///   --json   write bench/BENCH_service.json (one record per scenario:
+///            wall time, jobs/sec, latency percentiles, abort counts)
+///
+/// Latency here is end-to-end from submit() to completion as measured
+/// by the service's own clocks (JobOutcome::queue_seconds +
+/// solve_seconds), so await()/reporting overhead is excluded. See
+/// bench/README.md for the methodology and the regression gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "gen/random_cnf.h"
+#include "harness/factory.h"
+#include "svc/service.h"
+
+namespace {
+
+using namespace msu;
+
+std::vector<WcnfFormula> buildJobs(int n, int baseVars) {
+  std::vector<WcnfFormula> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Near-threshold random MaxSAT: enough search to be worth
+    // scheduling, small enough that a batch completes in seconds.
+    const int vars = baseVars + (i % 5);
+    jobs.push_back(WcnfFormula::allSoft(randomUnsat3Sat(
+        vars, 4.8, 1000 + static_cast<std::uint64_t>(i))));
+  }
+  return jobs;
+}
+
+struct Scenario {
+  std::string name;
+  int workers = 1;
+  JobLimits limits;          // applied to every job
+  bool deadline_set = false; // use the larger deadline batch
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int numJobs = 40;
+  int reps = 5;
+  bool writeJson = false;
+  std::string jsonPath = "bench/BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      numJobs = std::atoi(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      writeJson = true;
+      if (i + 1 < argc &&
+          std::string(argv[i + 1]).find(".json") != std::string::npos) {
+        jsonPath = argv[++i];
+      }
+    } else {
+      std::cerr
+          << "usage: bench_service [--jobs N] [--reps N] [--json [path]]\n";
+      return 2;
+    }
+  }
+
+  // Base size 22..26 vars: small enough that a batch completes in a
+  // couple of seconds, large enough (~100 ms of total solving) that
+  // batch wall times are not dominated by scheduler jitter — at 16
+  // vars the whole batch ran in ~9 ms and run-to-run noise routinely
+  // exceeded the regression gate's tolerance.
+  const std::vector<WcnfFormula> jobs = buildJobs(numJobs, 22);
+  // The deadline scenario needs jobs that reliably OUTLIVE their cap:
+  // the main batch's instances often finish in well under 2 ms, which
+  // would leave the abort path mostly unexercised. These larger
+  // near-threshold instances take tens of milliseconds each when run
+  // to optimality, so a 2 ms cap aborts essentially every one.
+  const std::vector<WcnfFormula> deadlineJobs =
+      buildJobs(std::max(numJobs / 2, 1), 30);
+  std::vector<benchjson::BenchRecord> records;
+
+  // Machine-speed probe: the same batch solved by a plain sequential
+  // loop of direct engine calls — no service, no threads. Its wall time
+  // tracks the machine, its counters are deterministic for identical
+  // code, so check_regression.py can use it to calibrate the service
+  // scenarios' wall times across machines (--calibration-prefix seq-).
+  {
+    double bestMs = 0.0;
+    std::int64_t propagations = 0;
+    std::int64_t conflicts = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      propagations = 0;
+      conflicts = 0;
+      for (const WcnfFormula& w : jobs) {
+        auto engine = makeSolver("msu4-v2", MaxSatOptions{});
+        const MaxSatResult r = engine->solve(w);
+        if (r.status != MaxSatStatus::Optimum) {
+          std::cerr << "seq-direct: job finished without an optimum\n";
+          return 1;
+        }
+        propagations += r.satStats.propagations;
+        conflicts += r.satStats.conflicts;
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (rep == 0 || ms < bestMs) bestMs = ms;
+    }
+    std::cout << "seq-direct (calibration probe): " << std::fixed
+              << std::setprecision(1) << bestMs << " ms\n";
+    benchjson::BenchRecord rec;
+    rec.name = "seq-direct";
+    rec.wallMs = bestMs;
+    rec.reps = reps;
+    rec.counters.emplace_back("jobs",
+                              static_cast<std::int64_t>(jobs.size()));
+    rec.counters.emplace_back("propagations", propagations);
+    rec.counters.emplace_back("conflicts", conflicts);
+    records.push_back(std::move(rec));
+  }
+
+  std::vector<Scenario> scenarios;
+  for (const int w : {1, 2, 4}) {
+    scenarios.push_back({"svc-w" + std::to_string(w), w, JobLimits{}});
+  }
+  {
+    // Abort-path pricing: every job deadline-capped well below its
+    // typical solve time, so most of the batch exercises watchdog +
+    // cooperative unwinding instead of the happy path.
+    Scenario s;
+    s.name = "svc-w2-deadline";
+    s.workers = 2;
+    s.limits.wall_seconds = 0.002;
+    s.deadline_set = true;
+    scenarios.push_back(s);
+  }
+
+  std::cout << std::left << std::setw(18) << "scenario" << std::right
+            << std::setw(10) << "wall ms" << std::setw(10) << "jobs/s"
+            << std::setw(10) << "p50 ms" << std::setw(10) << "p99 ms"
+            << std::setw(9) << "aborted" << "\n";
+
+  for (const Scenario& sc : scenarios) {
+    const std::vector<WcnfFormula>& batch =
+        sc.deadline_set ? deadlineJobs : jobs;
+
+    // Best-of-reps: a fresh service per rep, keep the fastest batch
+    // (same policy as bench_portfolio — thread-scheduling noise on a
+    // loaded machine only ever slows a run down).
+    double wallMs = 0.0;
+    std::vector<double> latencyMs;
+    std::int64_t aborted = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      SolveServiceOptions so;
+      so.workers = sc.workers;
+      so.max_queue_depth = batch.size() + 1;
+      SolveService service(so);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<JobId> ids;
+      ids.reserve(batch.size());
+      for (const WcnfFormula& w : batch) {
+        const auto sub = service.submit(w, sc.limits);
+        if (sub.status != SolveService::SubmitStatus::kAccepted) {
+          std::cerr << sc.name << ": unexpected submit rejection\n";
+          return 1;
+        }
+        ids.push_back(sub.id);
+      }
+      std::vector<double> repLatencyMs;
+      repLatencyMs.reserve(ids.size());
+      std::int64_t repAborted = 0;
+      for (const JobId id : ids) {
+        const JobOutcome out = service.await(id);
+        repLatencyMs.push_back((out.queue_seconds + out.solve_seconds) * 1e3);
+        if (out.abort != AbortReason::kNone) ++repAborted;
+        if (!sc.limits.wall_seconds &&
+            out.result.status != MaxSatStatus::Optimum) {
+          std::cerr << sc.name << ": job finished without an optimum\n";
+          return 1;
+        }
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (rep == 0 || ms < wallMs) {
+        wallMs = ms;
+        latencyMs = std::move(repLatencyMs);
+        aborted = repAborted;
+      }
+    }
+    std::sort(latencyMs.begin(), latencyMs.end());
+    const auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencyMs.size() - 1));
+      return latencyMs[idx];
+    };
+    const double jobsPerSec =
+        1e3 * static_cast<double>(latencyMs.size()) / std::max(wallMs, 1e-6);
+
+    std::cout << std::left << std::setw(18) << sc.name << std::right
+              << std::fixed << std::setprecision(1) << std::setw(10)
+              << wallMs << std::setw(10) << jobsPerSec << std::setw(10)
+              << std::setprecision(2) << pct(0.50) << std::setw(10)
+              << pct(0.99) << std::setw(9) << aborted << "\n";
+
+    benchjson::BenchRecord rec;
+    rec.name = sc.name;
+    rec.wallMs = wallMs;
+    rec.reps = reps;
+    rec.counters.emplace_back("jobs",
+                              static_cast<std::int64_t>(latencyMs.size()));
+    rec.counters.emplace_back("workers", sc.workers);
+    rec.counters.emplace_back("jobs_per_sec_milli",
+                              static_cast<std::int64_t>(jobsPerSec * 1e3));
+    rec.counters.emplace_back("p50_latency_us",
+                              static_cast<std::int64_t>(pct(0.50) * 1e3));
+    rec.counters.emplace_back("p99_latency_us",
+                              static_cast<std::int64_t>(pct(0.99) * 1e3));
+    rec.counters.emplace_back("aborted", aborted);
+    records.push_back(std::move(rec));
+  }
+
+  if (writeJson && !benchjson::writeJsonFile(jsonPath, "service", records)) {
+    return 1;
+  }
+  return 0;
+}

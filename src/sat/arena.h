@@ -241,6 +241,13 @@ class ClauseArena {
   /// Total words in use.
   [[nodiscard]] std::size_t size() const { return mem_.size(); }
 
+  /// Backing-store footprint in bytes (allocated capacity, not just the
+  /// words in use) — the arena's contribution to the solver's
+  /// cooperative memory accounting.
+  [[nodiscard]] std::size_t bytes() const {
+    return mem_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Moves the clause at `ref` into `to`, leaving a forwarding pointer,
   /// and updates `ref` in place. Safe to call repeatedly for the same
   /// clause through different holders.

@@ -1,0 +1,107 @@
+/// \file fault.h
+/// \brief Deterministic fault injection for robustness testing of the
+///        cooperative-budget machinery and the SolveService layer.
+///
+/// A FaultInjector is a small counter box the solver consults at three
+/// well-defined points — compiled in unconditionally (the checks are a
+/// null-pointer test plus an increment), but inert unless an injector
+/// is attached via Solver::Options::fault AND armed by setting one of
+/// the trigger counts. Faults are *cooperative*, like every other
+/// budget mechanism in this library: they never corrupt state, they
+/// only force the solver down its existing abort paths, so a test can
+/// drive "the allocator failed at exactly the Nth clause" or "the
+/// budget expired between these two polls" bit-for-bit reproducibly.
+///
+/// Trigger points:
+///  * **Budget poll** (`onPoll`): the amortized budget checks in
+///    search()/solve(). Arming `expire_at_poll = N` makes the Nth poll
+///    report the budget as expired (AbortReason::kFault), simulating a
+///    deadline that lands between two specific poll sites.
+///  * **Arena allocation** (`onAlloc`): clause allocation in
+///    addClause()/recordLearnt()/imports. Arming `fail_alloc_at = N`
+///    makes the Nth allocation "fail": the solver treats it exactly
+///    like its cooperative memory cap tripping (AbortReason::kMemory)
+///    — the clause is still stored (nothing is ever half-constructed),
+///    but the solve unwinds at the next poll.
+///  * **Solve entry** (`onSolve`): Arming `unknown_at_solve = N` makes
+///    the Nth solve() return lbool::Undef immediately
+///    (AbortReason::kFault), simulating a spurious oracle give-up —
+///    the failure mode MaxSAT engines must survive without corrupting
+///    their bound accounting.
+///
+/// Counters are atomics so a service test can share one injector
+/// across a job's engine (one solver per job; the watchdog thread may
+/// read the counters concurrently). Determinism holds per job: each
+/// job's solver increments its own injector's counters in program
+/// order.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace msu {
+
+/// Deterministic fault-injection counter box (see the file comment).
+/// All triggers are off (0) by default; a default-constructed injector
+/// attached to a solver changes nothing.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms: force the Nth budget poll (1-based) to report expiry.
+  /// 0 disarms.
+  void expireAtPoll(std::int64_t n) { expire_at_poll_ = n; }
+
+  /// Arms: simulate allocation failure at the Nth arena allocation
+  /// (1-based). 0 disarms.
+  void failAllocAt(std::int64_t n) { fail_alloc_at_ = n; }
+
+  /// Arms: make the Nth solve() (1-based) return Undef immediately.
+  /// 0 disarms.
+  void unknownAtSolve(std::int64_t n) { unknown_at_solve_ = n; }
+
+  /// Budget-poll hook: true iff this poll must report expiry.
+  [[nodiscard]] bool onPoll() {
+    const std::int64_t n = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return expire_at_poll_ > 0 && n >= expire_at_poll_;
+  }
+
+  /// Arena-allocation hook: true iff this allocation must "fail".
+  [[nodiscard]] bool onAlloc() {
+    const std::int64_t n = allocs_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return fail_alloc_at_ > 0 && n >= fail_alloc_at_;
+  }
+
+  /// Solve-entry hook: true iff this solve must return Undef.
+  [[nodiscard]] bool onSolve() {
+    const std::int64_t n = solves_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return unknown_at_solve_ > 0 && n == unknown_at_solve_;
+  }
+
+  /// Counters seen so far (tests assert against these).
+  [[nodiscard]] std::int64_t polls() const {
+    return polls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t allocs() const {
+    return allocs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t solves() const {
+    return solves_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Trigger thresholds (0 = disarmed). Plain ints: armed before the
+  // solve starts, read-only afterwards.
+  std::int64_t expire_at_poll_ = 0;
+  std::int64_t fail_alloc_at_ = 0;
+  std::int64_t unknown_at_solve_ = 0;
+
+  std::atomic<std::int64_t> polls_{0};
+  std::atomic<std::int64_t> allocs_{0};
+  std::atomic<std::int64_t> solves_{0};
+};
+
+}  // namespace msu

@@ -350,6 +350,7 @@ bool Solver::addClause(std::span<const Lit> lits) {
     attachBinary(ps[0], ps[1], /*learnt=*/false);
     return true;
   }
+  noteAllocFault();
   const CRef ref = arena_.alloc(ps, /*learnt=*/false, currentScopeTag());
   clauses_.push_back(ref);
   attachClause(ref);
@@ -841,6 +842,7 @@ void Solver::recordLearnt(std::span<const Lit> learntClause) {
     maybeExportLearnt(learntClause, 2);
   } else {
     const Var tag = scopes_.empty() ? kUndefVar : learntTagFor(learntClause);
+    noteAllocFault();
     const CRef ref = arena_.alloc(learntClause, /*learnt=*/true, tag);
     ClauseRefView c = arena_[ref];
     const std::uint32_t lbd = computeLbd(learntClause);
@@ -1122,6 +1124,7 @@ void Solver::importSharedClauses() {
       attachBinary(ps[0], ps[1], /*learnt=*/true);
       return;
     }
+    noteAllocFault();
     const CRef ref = arena_.alloc(ps, /*learnt=*/true, kUndefVar);
     ClauseRefView c = arena_[ref];
     const auto lbd = static_cast<std::uint32_t>(ps.size());
@@ -1143,6 +1146,50 @@ bool Solver::withinBudget() const {
   if (budget_.conflictsExhausted(stats_.conflicts)) return false;
   // Wall-clock checks are amortized by the caller (search loop).
   return true;
+}
+
+std::int64_t Solver::memBytesEstimate() const {
+  std::int64_t b = 0;
+  // Clause storage: arena capacity plus both watch pools.
+  b += static_cast<std::int64_t>(arena_.bytes());
+  b += static_cast<std::int64_t>(watches_.bytes());
+  // Per-variable state (the vectors indexed by Var / Lit that grow with
+  // newVar). Charged by slot count, not capacity — the constant is what
+  // matters for a cap, and slots dominate capacity slack here.
+  constexpr std::int64_t kPerVarBytes =
+      sizeof(lbool) + sizeof(VarData) + 4 * sizeof(char) +  // assigns,
+      // vardata, polarity/decision/seen/best_phase
+      sizeof(double) +                                 // activity
+      3 * sizeof(char) +                               // activator/frozen/…
+      sizeof(int) + sizeof(Var) + sizeof(std::uint32_t) +  // scope maps
+      2 * sizeof(double);  // order-heap entry + index (amortized)
+  b += static_cast<std::int64_t>(numVars()) * kPerVarBytes;
+  // Bookkeeping proportional to the database.
+  b += static_cast<std::int64_t>(trail_.capacity()) * sizeof(Lit);
+  b += static_cast<std::int64_t>(clauses_.capacity() + learnts_.capacity()) *
+       static_cast<std::int64_t>(sizeof(CRef));
+  return b;
+}
+
+bool Solver::pollAborted() {
+  // Fault injection first: a forced expiry must win even when no real
+  // limit is near (the injector simulates exactly that situation).
+  if (opts_.fault != nullptr && opts_.fault->onPoll()) {
+    budget_.noteAbort(AbortReason::kFault);
+    return true;
+  }
+  if (budget_.timeExpired()) return true;
+  if (alloc_failed_) {
+    // A simulated allocation failure behaves like the memory cap
+    // tripping: cooperative unwind, structured reason, no corruption.
+    budget_.noteAbort(AbortReason::kMemory);
+    return true;
+  }
+  if (budget_.hasMemoryCap()) {
+    stats_.mem_bytes = memBytesEstimate();
+    if (budget_.memoryExhausted(stats_.mem_bytes)) return true;
+  }
+  return false;
 }
 
 lbool Solver::search(std::int64_t conflictsBeforeRestart) {
@@ -1193,7 +1240,7 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
         }
       }
 
-      if ((stats_.conflicts & 255) == 0 && budget_.timeExpired()) {
+      if ((stats_.conflicts & 255) == 0 && pollAborted()) {
         cancelUntil(0);
         return lbool::Undef;
       }
@@ -1254,7 +1301,13 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   core_.clear();
   assumptions_.assign(assumptions.begin(), assumptions.end());
   if (!ok_) return lbool::False;
-  if (budget_.timeExpired() || !withinBudget()) return lbool::Undef;
+  if (opts_.fault != nullptr && opts_.fault->onSolve()) {
+    // Injected spurious give-up: the oracle "fails" before doing any
+    // work, which MaxSAT engines must absorb without corrupting bounds.
+    budget_.noteAbort(AbortReason::kFault);
+    return lbool::Undef;
+  }
+  if (pollAborted() || !withinBudget()) return lbool::Undef;
 
   // Every live encoding scope is decided up front: its activator when
   // enforced, the negation when disabled. This is what keeps physical
@@ -1315,7 +1368,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
 
   lbool status = lbool::Undef;
   for (int restarts = 0; status == lbool::Undef; ++restarts) {
-    if (budget_.timeExpired() || !withinBudget()) break;
+    if (pollAborted() || !withinBudget()) break;
     // Restart boundary: adopt foreign clauses while the trail holds
     // level-0 facts only (attaching is trivially sound here), and give
     // inprocessing its periodic shot at the database. A warm first
@@ -1362,6 +1415,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   // else rewinds to the root as before.
   if (!opts_.reuse_trail) cancelUntil(0);
   assumptions_.clear();
+  stats_.mem_bytes = memBytesEstimate();
   return status;
 }
 

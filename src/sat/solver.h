@@ -161,6 +161,7 @@
 #include "cnf/literal.h"
 #include "sat/arena.h"
 #include "sat/budget.h"
+#include "sat/fault.h"
 #include "sat/heap.h"
 #include "sat/proof_tracer.h"
 #include "sat/stats.h"
@@ -263,6 +264,15 @@ class Solver {
     /// Optional proof receiver (non-owning; must outlive the solver).
     /// Attach before adding clauses so the axiom trace is complete.
     ProofTracer* tracer = nullptr;
+
+    /// Optional fault injector (non-owning; must outlive the solver).
+    /// Off (nullptr) by default — the hooks then cost a pointer test.
+    /// When attached, the injector can force budget expiry at the Nth
+    /// poll, simulate arena allocation failure (the solver aborts the
+    /// solve with AbortReason::kMemory exactly as if its cooperative
+    /// memory cap tripped) and make the Nth solve() return Undef.
+    /// See sat/fault.h; used by the SolveService stress suite.
+    FaultInjector* fault = nullptr;
 
     /// Optional learnt-clause exchange (non-owning; must outlive the
     /// solver). Sharing is active only when this is set AND
@@ -463,6 +473,15 @@ class Solver {
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
+  /// Cooperative memory accounting: the solver's current clause-storage
+  /// footprint in bytes — arena capacity, watch-table pools, per-
+  /// variable state and the trail/clause-list bookkeeping. This is the
+  /// quantity compared against Budget::setMaxMemory at the budget poll
+  /// sites and surfaced as the SolverStats::mem_bytes gauge. It tracks
+  /// the structures that actually grow with the clause database; small
+  /// fixed-size scratch is deliberately ignored.
+  [[nodiscard]] std::int64_t memBytesEstimate() const;
+
   /// Installs (or clears, with nullptr) the proof tracer. Attach before
   /// the first addClause so the proof's axiom record is complete.
   void setProofTracer(ProofTracer* tracer) { opts_.tracer = tracer; }
@@ -609,6 +628,21 @@ class Solver {
 
   [[nodiscard]] bool withinBudget() const;
 
+  /// The amortized budget poll shared by solve()'s entry, its restart
+  /// loop and search()'s conflict check: fault-injected expiry, the
+  /// interrupt flag / wall clock, a simulated allocation failure and
+  /// the cooperative memory cap (byte accounting runs only when a cap
+  /// is set). Returns true iff the solve must unwind with Undef.
+  [[nodiscard]] bool pollAborted();
+
+  /// Fault-injection hook at arena-allocation sites: flips
+  /// alloc_failed_ when the injector says this allocation "fails".
+  void noteAllocFault() {
+    if (opts_.fault != nullptr && opts_.fault->onAlloc()) {
+      alloc_failed_ = true;
+    }
+  }
+
   // Proof trace helpers (no-ops without a tracer).
   void traceAxiom(std::span<const Lit> lits) {
     if (opts_.tracer != nullptr) opts_.tracer->axiom(lits);
@@ -704,6 +738,11 @@ class Solver {
   bool ok_ = true;
   double max_learnts_ = 0.0;
   int simp_db_assigns_ = -1;  // trail size at last simplify()
+  // Sticky simulated-OOM marker (fault injection): once an arena
+  // allocation "failed", every later poll aborts with kMemory — the
+  // condition does not clear, mirroring a real memory wall. The job
+  // layer discards the solver; the object itself stays consistent.
+  bool alloc_failed_ = false;
 
   // Inprocessing state. `inprocessing_` disables phase saving while a
   // vivification probe unwinds, so probe trails don't perturb the

@@ -47,7 +47,8 @@ namespace msu {
   X(inproc_props)                  \
   X(reused_trail_lits)             \
   X(restarts_blocked)              \
-  X(mode_switches)
+  X(mode_switches)                 \
+  X(mem_bytes)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -104,6 +105,13 @@ struct SolverStats {
   std::int64_t restart_mode = 0;       ///< gauge: current restart policy
   std::int64_t restarts_blocked = 0;   ///< EMA restarts vetoed by trail depth
   std::int64_t mode_switches = 0;      ///< stable/focused phase flips
+
+  // Cooperative memory accounting (Budget::setMaxMemory / SolveService
+  // job caps). A gauge: the solver's current clause-storage footprint —
+  // arena words, watch-table pools, per-variable state and bookkeeping
+  // vectors — refreshed at budget poll sites and at solve() exit.
+  // Summing across portfolio workers yields the combined footprint.
+  std::int64_t mem_bytes = 0;  ///< gauge: accounted solver bytes
 
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.

@@ -355,6 +355,15 @@ class WatchTable {
   [[nodiscard]] std::size_t wastedBin() const { return wasted_bin_; }
   [[nodiscard]] std::size_t wastedLong() const { return wasted_long_; }
 
+  /// Backing-store footprint in bytes (pool capacities + the per-literal
+  /// header table) — the watch table's contribution to the solver's
+  /// cooperative memory accounting.
+  [[nodiscard]] std::size_t bytes() const {
+    return bin_pool_.capacity() * sizeof(BinWatch) +
+           long_pool_.capacity() * sizeof(Watcher) +
+           heads_.capacity() * sizeof(Head);
+  }
+
   /// Defragments whichever pool is dominated by abandoned segments.
   void compactIfWasteful() {
     if (wasted_long_ * 2 > long_pool_.size() ||

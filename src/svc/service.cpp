@@ -1,0 +1,293 @@
+/// \file service.cpp
+/// \brief SolveService implementation. See service.h for the
+///        architecture; the invariants worth knowing here:
+///
+///  * `mu_` guards every mutable field; workers drop it while solving.
+///  * A Job's interrupt/abort slots are owned by the Job object, which
+///    outlives the solve because the worker holds a shared_ptr — the
+///    non-owning pointers handed to Budget are therefore always valid.
+///  * External cancellers (cancel(), watchdog, shutdown) record the
+///    abort reason BEFORE raising the interrupt flag, so the solver's
+///    poll — which returns early on interruption without noting a
+///    reason — always finds the authoritative cause already in place.
+
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "harness/factory.h"
+
+namespace msu {
+
+namespace {
+
+using Clock = Budget::Clock;
+
+double secondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+struct SolveService::Job {
+  JobId id = kJobIdUndef;
+  std::uint64_t seq = 0;
+  WcnfFormula formula;
+  JobLimits limits;
+
+  JobState state = JobState::kQueued;
+  std::atomic<bool> interrupt{false};
+  std::atomic<int> abort{static_cast<int>(AbortReason::kNone)};
+
+  /// Absolute running-time deadline the watchdog enforces (per-job
+  /// wall_seconds and/or the service default, whichever is sooner).
+  /// Set when the job starts running.
+  std::optional<Clock::time_point> watchdog_deadline;
+
+  Clock::time_point submit_time;
+  Clock::time_point start_time;
+
+  JobOutcome outcome;  ///< valid once state is kDone / kCancelled
+
+  [[nodiscard]] AbortReason abortReason() const {
+    return static_cast<AbortReason>(abort.load(std::memory_order_relaxed));
+  }
+
+  /// Records `r` (first wins) and raises the interrupt flag — the
+  /// external-canceller protocol (reason strictly before flag).
+  void abortFromOutside(AbortReason r) {
+    int expected = static_cast<int>(AbortReason::kNone);
+    abort.compare_exchange_strong(expected, static_cast<int>(r),
+                                  std::memory_order_relaxed);
+    interrupt.store(true, std::memory_order_relaxed);
+  }
+};
+
+SolveService::SolveService(SolveServiceOptions opts) : opts_(std::move(opts)) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  // Fail fast on unknown engine names: building one engine up front is
+  // cheap and turns a per-job nullptr surprise into a construction-time
+  // error.
+  assert(makeSolver(opts_.engine, MaxSatOptions{}) != nullptr &&
+         "SolveServiceOptions::engine is not a known engine name");
+  threads_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+  watchdog_ = std::thread([this] { watchdogLoop(); });
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+SolveService::Submission SolveService::submit(WcnfFormula formula,
+                                              JobLimits limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return {SubmitStatus::kShutdown, kJobIdUndef};
+  if (queue_.size() >= opts_.max_queue_depth) {
+    ++counters_.shed;
+    return {SubmitStatus::kOverloaded, kJobIdUndef};
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->seq = next_seq_++;
+  job->formula = std::move(formula);
+  job->limits = limits;
+  job->submit_time = Clock::now();
+  jobs_.emplace(job->id, job);
+  queue_.push_back(job);
+  ++counters_.submitted;
+  queue_cv_.notify_one();
+  return {SubmitStatus::kAccepted, job->id};
+}
+
+std::optional<JobStatus> SolveService::poll(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return JobStatus{it->second->state, it->second->abortReason()};
+}
+
+bool SolveService::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const std::shared_ptr<Job>& job = it->second;
+  switch (job->state) {
+    case JobState::kQueued: {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+      job->state = JobState::kCancelled;
+      job->abortFromOutside(AbortReason::kCancelled);
+      job->outcome.abort = AbortReason::kCancelled;
+      job->outcome.queue_seconds =
+          secondsBetween(job->submit_time, Clock::now());
+      ++counters_.cancelled_queued;
+      done_cv_.notify_all();
+      return true;
+    }
+    case JobState::kRunning:
+      job->abortFromOutside(AbortReason::kCancelled);
+      return true;
+    case JobState::kDone:
+    case JobState::kCancelled:
+      return false;
+  }
+  return false;
+}
+
+JobOutcome SolveService::await(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    JobOutcome unknown;
+    unknown.abort = AbortReason::kFault;
+    return unknown;
+  }
+  const std::shared_ptr<Job> job = it->second;
+  done_cv_.wait(lock, [&job] {
+    return job->state == JobState::kDone || job->state == JobState::kCancelled;
+  });
+  return job->outcome;
+}
+
+std::size_t SolveService::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+SolveService::Counters SolveService::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void SolveService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) return;  // already shut down
+    stopping_ = true;
+    // Queued jobs never run; running jobs are interrupted and complete
+    // with kCancelled through the normal worker path.
+    for (const std::shared_ptr<Job>& job : queue_) {
+      job->state = JobState::kCancelled;
+      job->abortFromOutside(AbortReason::kCancelled);
+      job->outcome.abort = AbortReason::kCancelled;
+      job->outcome.queue_seconds =
+          secondsBetween(job->submit_time, Clock::now());
+      ++counters_.cancelled_queued;
+    }
+    queue_.clear();
+    for (const std::shared_ptr<Job>& job : running_) {
+      job->abortFromOutside(AbortReason::kCancelled);
+    }
+    queue_cv_.notify_all();
+    watchdog_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::shared_ptr<SolveService::Job> SolveService::popBest() {
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const bool higher =
+        (*it)->limits.priority > (*best)->limits.priority ||
+        ((*it)->limits.priority == (*best)->limits.priority &&
+         (*it)->seq < (*best)->seq);
+    if (higher) best = it;
+  }
+  std::shared_ptr<Job> job = *best;
+  queue_.erase(best);
+  return job;
+}
+
+void SolveService::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    std::shared_ptr<Job> job = popBest();
+    job->state = JobState::kRunning;
+    job->start_time = Clock::now();
+    if (job->limits.wall_seconds || opts_.default_max_job_seconds) {
+      double limit = job->limits.wall_seconds
+                         ? *job->limits.wall_seconds
+                         : *opts_.default_max_job_seconds;
+      if (job->limits.wall_seconds && opts_.default_max_job_seconds) {
+        limit = std::min(limit, *opts_.default_max_job_seconds);
+      }
+      job->watchdog_deadline =
+          job->start_time + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(limit));
+    }
+    running_.push_back(job);
+
+    lock.unlock();
+    runJob(job);
+    lock.lock();
+
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+    job->outcome.abort = job->abortReason();
+    job->outcome.queue_seconds =
+        secondsBetween(job->submit_time, job->start_time);
+    job->outcome.solve_seconds =
+        secondsBetween(job->start_time, Clock::now());
+    job->state = JobState::kDone;
+    ++counters_.completed;
+    done_cv_.notify_all();
+  }
+}
+
+void SolveService::runJob(const std::shared_ptr<Job>& job) {
+  // Translate JobLimits into the engine's cooperative Budget. The
+  // interrupt flag and abort sink live in the Job (which we keep alive
+  // by shared_ptr), so every Budget copy the engine makes stays wired
+  // to this job.
+  MaxSatOptions opts = opts_.base;
+  opts.budget = Budget{};
+  if (job->limits.wall_seconds) {
+    opts.budget.setWallClock(*job->limits.wall_seconds);
+  }
+  if (job->limits.max_conflicts) {
+    opts.budget.setMaxConflicts(*job->limits.max_conflicts);
+  }
+  if (job->limits.max_memory_bytes) {
+    opts.budget.setMaxMemory(*job->limits.max_memory_bytes);
+  }
+  opts.budget.setInterrupt(&job->interrupt);
+  opts.budget.setAbortSink(&job->abort);
+  opts.sat.fault = job->limits.fault;
+
+  std::unique_ptr<MaxSatSolver> engine = makeSolver(opts_.engine, opts);
+  assert(engine != nullptr);
+  if (engine == nullptr) {  // release-build guard for unknown names
+    opts.budget.noteAbort(AbortReason::kFault);
+    return;
+  }
+  job->outcome.result = engine->solve(job->formula);
+}
+
+void SolveService::watchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::duration<double>(opts_.watchdog_period_s),
+        [this] { return stopping_; });
+    if (stopping_) return;
+    const Clock::time_point now = Clock::now();
+    for (const std::shared_ptr<Job>& job : running_) {
+      if (job->watchdog_deadline && now >= *job->watchdog_deadline &&
+          !job->interrupt.load(std::memory_order_relaxed)) {
+        // Reason before flag, like every external canceller.
+        job->abortFromOutside(AbortReason::kDeadline);
+      }
+    }
+  }
+}
+
+}  // namespace msu

@@ -308,6 +308,69 @@ TEST(Portfolio, SharingMovesClausesUnderContention) {
   EXPECT_GT(r.satStats.shared_exported, 0);
 }
 
+TEST(ClauseSharing, TwoWorkerPoolRoundTripsExportAndImport) {
+  // Regression for the dead-sharing-path finding (BENCH_portfolio.json
+  // once showed shared_exported == 0 in every record): the bench's
+  // all-soft workloads have no hard clauses, so nothing was ever
+  // legally exportable — the pipeline itself must round-trip. This
+  // crafts the 2-worker exchange deterministically: worker 0 refutes a
+  // hard instance and exports prefix clauses into the pool; worker 1
+  // then solves the same instance and must import them.
+  const CnfFormula php = pigeonhole(6, 5);
+  SharedClausePool pool(2, php.numVars());
+
+  const auto solveWorker = [&](int w) {
+    Solver::Options so;
+    so.share = pool.endpoint(w);
+    so.share_num_vars = php.numVars();
+    Solver s(so);
+    while (s.numVars() < php.numVars()) static_cast<void>(s.newVar());
+    for (const Clause& c : php.clauses()) EXPECT_TRUE(s.addClause(c));
+    EXPECT_EQ(s.solve(), lbool::False);
+    return s.stats();
+  };
+
+  const SolverStats first = solveWorker(0);
+  EXPECT_GT(first.shared_exported, 0);
+  EXPECT_EQ(first.shared_imported, 0);  // nothing published yet
+  EXPECT_GT(pool.numClauses(), 0);
+
+  const SolverStats second = solveWorker(1);
+  EXPECT_GT(second.shared_imported, 0)
+      << "worker 1 never imported worker 0's clauses";
+}
+
+TEST(Portfolio, TwoWorkersShareOnHardRichInstances) {
+  // Threaded end-to-end variant on a *satisfiable-hards* instance of
+  // the kind the bench now includes: a below-threshold hard random
+  // 3-SAT skeleton carrying a soft 3-clause load. Refutations inside
+  // the hard skeleton learn prefix-pure clauses, so exports must flow.
+  // Whether a particular 2-worker race shares before the winner
+  // finishes is timing-dependent, so the assertion is over a handful of
+  // attempts: at least one run must move clauses through the pool.
+  const CnfFormula hard = randomKSat(
+      {.numVars = 48, .numClauses = 160, .clauseLen = 3, .seed = 12});
+  const CnfFormula soft = randomKSat(
+      {.numVars = 48, .numClauses = 120, .clauseLen = 3, .seed = 13});
+  WcnfFormula w(48);
+  for (int i = 0; i < hard.numClauses(); ++i) w.addHard(hard.clause(i));
+  for (int i = 0; i < soft.numClauses(); ++i) w.addSoft(soft.clause(i), 1);
+
+  Weight cost = -1;
+  std::int64_t exported = 0;
+  for (int attempt = 0; attempt < 5 && exported == 0; ++attempt) {
+    PortfolioOptions po;
+    po.threads = 2;
+    PortfolioSolver portfolio(po);
+    const MaxSatResult r = portfolio.solve(w);
+    ASSERT_EQ(r.status, MaxSatStatus::Optimum);
+    if (cost < 0) cost = r.cost;
+    EXPECT_EQ(r.cost, cost);  // attempts agree on the optimum
+    exported = r.satStats.shared_exported;
+  }
+  EXPECT_GT(exported, 0);
+}
+
 TEST(Portfolio, WorkerDescriptionsAreDeterministic) {
   PortfolioOptions po;
   po.threads = 4;
