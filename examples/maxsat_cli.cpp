@@ -10,6 +10,11 @@
 ///     --threads N       parallel portfolio of N workers racing the
 ///                       chosen engine plus diversified alternatives,
 ///                       with learnt-clause sharing (default 1)
+///     --cubes N         cube-and-conquer with N workers instead of a
+///                       racing portfolio: a lookahead splitter shards
+///                       the instance into cubes conquered over a
+///                       work-stealing queue (ignores --algo; also
+///                       reachable as --algo cubesN)
 ///     --timeout SECONDS wall-clock budget (default: none)
 ///     --inprocess       enable in-solver inprocessing between oracle
 ///                       calls (Solver::Options::inprocess)
@@ -36,13 +41,15 @@
 #include "core/preprocess.h"
 #include "harness/factory.h"
 #include "harness/tables.h"
+#include "par/cube.h"
 #include "par/portfolio.h"
 
 namespace {
 
 void usage() {
   std::cout <<
-      "usage: maxsat_cli [--algo NAME] [--threads N] [--timeout SEC]\n"
+      "usage: maxsat_cli [--algo NAME] [--threads N] [--cubes N]\n"
+      "                  [--timeout SEC]\n"
       "                  [--inprocess] [--reuse-trail|--no-reuse-trail]\n"
       "                  [--restart luby|geom|ema] [--stats]\n"
       "                  [--preprocess] [--no-model] [--list]\n"
@@ -56,6 +63,7 @@ int main(int argc, char** argv) {
 
   std::string algo = "msu4-v2";
   int threads = 1;
+  int cubes = 0;
   double timeout = 0.0;
   bool inprocess = false;
   bool reuseTrail = Solver::Options{}.reuse_trail;
@@ -73,6 +81,12 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) {
         std::cerr << "c --threads wants a positive count\n";
+        return 2;
+      }
+    } else if (arg == "--cubes" && i + 1 < argc) {
+      cubes = std::atoi(argv[++i]);
+      if (cubes < 1) {
+        std::cerr << "c --cubes wants a positive worker count\n";
         return 2;
       }
     } else if (arg == "--timeout" && i + 1 < argc) {
@@ -150,11 +164,21 @@ int main(int argc, char** argv) {
   opts.sat.ema_restarts = restart == "ema";
   std::unique_ptr<MaxSatSolver> solver;
   PortfolioSolver* portfolio = nullptr;
-  if (threads > 1 && algo.rfind("portfolio", 0) == 0) {
+  CubeSolver* cubeSolver = nullptr;
+  if (threads > 1 &&
+      (algo.rfind("portfolio", 0) == 0 || algo.rfind("cubes", 0) == 0)) {
     std::cerr << "c note: --threads is ignored for --algo " << algo
               << " (the name fixes the worker count)\n";
   }
-  if (threads > 1 && algo.rfind("portfolio", 0) != 0) {
+  if (cubes > 0) {
+    CubeOptions co;
+    co.base = opts;
+    co.threads = cubes;
+    auto c = std::make_unique<CubeSolver>(co);
+    cubeSolver = c.get();
+    solver = std::move(c);
+  } else if (threads > 1 && algo.rfind("portfolio", 0) != 0 &&
+             algo.rfind("cubes", 0) != 0) {
     // Race the requested engine (worker 0, base configuration) against
     // diversified alternatives, sharing learnt clauses. Validate the
     // name here: PortfolioSolver silently drops unbuildable engines.
@@ -187,6 +211,10 @@ int main(int argc, char** argv) {
   if (portfolio != nullptr && portfolio->lastWinner() >= 0) {
     std::cout << "c portfolio winner: worker " << portfolio->lastWinner()
               << " (" << portfolio->lastWinnerEngine() << ")\n";
+  }
+  if (cubeSolver != nullptr) {
+    std::cout << "c cubes: " << cubeSolver->lastNumCubes() << ", steals "
+              << cubeSolver->lastSteals() << "\n";
   }
 
   // Splice hard-forced values back into the model after preprocessing.

@@ -214,8 +214,11 @@ void printSatStatsRows(std::ostream& out, const SolverStats& stats,
   row("  literals removed", stats.inproc_lits_removed);
   row("  probe propagations", stats.inproc_props);
   row("shared exported", stats.shared_exported);
+  row("  export drops (exchange)", stats.shared_export_drops);
   row("shared imported", stats.shared_imported);
   row("  dropped as satisfied", stats.shared_import_drops);
+  row("shared import drains", stats.shared_import_drains);
+  row("  publications scanned", stats.shared_import_scanned);
 }
 
 }  // namespace

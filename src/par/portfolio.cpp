@@ -37,10 +37,11 @@ class PerturbRng {
 PortfolioSolver::PortfolioSolver(PortfolioOptions options)
     : opts_(std::move(options)) {
   if (opts_.threads < 1) opts_.threads = 1;
-  // Drop engine names the factory cannot build (and nested portfolios,
-  // which would multiply threads), rather than crashing a worker later.
+  // Drop engine names the factory cannot build (and nested parallel
+  // solvers, which would multiply threads), rather than crashing a
+  // worker later.
   std::erase_if(opts_.engines, [](const std::string& name) {
-    return name.rfind("portfolio", 0) == 0 ||
+    return name.rfind("portfolio", 0) == 0 || name.rfind("cubes", 0) == 0 ||
            makeSolver(name, MaxSatOptions{}) == nullptr;
   });
   if (opts_.engines.empty()) opts_.engines = defaultEngines();

@@ -21,8 +21,11 @@
 ///
 ///  * **Clause sharing.** Workers whose engines obey the sharing
 ///    discipline (see par/clause_pool.h) export short, low-LBD learnt
-///    clauses over the original variables into a SharedClausePool and
-///    import the other workers' clauses at restart boundaries.
+///    clauses over the original variables into a SharedClausePool
+///    (lock-free per-worker segments) and import the other workers'
+///    clauses in budgeted drains on a conflict cadence — at forced
+///    level-0 backtracks inside search, not just at restart
+///    boundaries (Solver::Options::share_import_interval).
 ///
 /// With `threads == 1` the portfolio degenerates to running the base
 /// configuration synchronously — no pool, no stop flag, no extra

@@ -1,0 +1,117 @@
+/// \file worksteal.h
+/// \brief A Chase–Lev work-stealing deque (fixed capacity) for the
+///        cube-and-conquer scheduler: the owning worker pushes and pops
+///        at the bottom in LIFO order, thieves take from the top in
+///        FIFO order.
+///
+/// LIFO ownership keeps a worker on the most recently split, deepest —
+/// and therefore most trail-prefix-similar — cubes, which is what makes
+/// warm-started oracle calls pay off across sibling cubes; FIFO
+/// stealing hands a thief the *oldest* (shallowest) item, the one
+/// whose subtree is largest and the prefix least shared with the
+/// victim's current work. This is the classic split from Chase & Lev,
+/// "Dynamic Circular Work-Stealing Deque" (SPAA'05), minus the dynamic
+/// growth: cube counts are known when the deque is built, so the
+/// buffer is fixed and `push` simply fails when full.
+///
+/// Thread contract: `push`/`pop` only from the owning thread; `steal`
+/// from any thread. All cross-thread traffic goes through atomics
+/// (TSan-clean); the payload type must be trivially copyable.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+namespace msu {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "payload is copied through atomic cells");
+
+ public:
+  /// Capacity is rounded up to a power of two; the deque never grows.
+  explicit WorkStealingDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<std::atomic<T>[]>(cap);
+  }
+
+  /// Owner-only. Returns false when the deque is full.
+  bool push(T v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > static_cast<std::int64_t>(mask_)) return false;
+    buf_[static_cast<std::size_t>(b) & mask_].store(
+        v, std::memory_order_relaxed);
+    // Release the new bottom so a thief that reads it also sees the
+    // element store above.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner-only: takes the most recently pushed item, racing thieves
+  /// for the last one.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // The fence orders the bottom decrement before the top read: a
+    // concurrent thief either sees the decremented bottom (and gives
+    // up) or loses the CAS race below — never both take the same item.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;  // already empty
+    }
+    T v = buf_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: win it against thieves by advancing top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return v;
+  }
+
+  /// Any thread: takes the oldest item, or nullopt when empty or when
+  /// it lost a race (callers treat both as "try elsewhere").
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    T v = buf_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to the owner or another thief
+    }
+    return v;
+  }
+
+  /// Approximate size (racy; scheduling hint only).
+  [[nodiscard]] std::int64_t sizeApprox() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T>[]> buf_;
+  std::size_t mask_ = 0;
+  // Padded apart: top is hammered by thieves, bottom by the owner.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace msu

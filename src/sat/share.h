@@ -2,16 +2,18 @@
 /// \brief The solver-side interface of inter-solver learnt-clause
 ///        sharing, analogous to ProofTracer: the CDCL engine talks to an
 ///        abstract exchange, and the parallel portfolio (src/par)
-///        provides the concrete pool behind it.
+///        provides the concrete sharded pool behind it.
 ///
 /// ## Contract
 ///
 /// A Solver with a ClauseShare attached *exports* learnt clauses that
 /// pass its sharing filter (short, low-LBD, and over the shareable
 /// variable prefix only — see Solver::Options::share_num_vars) the
-/// moment they are learnt, and *imports* foreign clauses at restart
-/// boundaries (decision level 0), where attaching them is trivially
-/// sound for the search state.
+/// moment they are learnt, and *imports* foreign clauses in budgeted
+/// drains at decision level 0 — at solve entry, at restart boundaries,
+/// and (on a conflict cadence, see Solver::Options::share_import_interval)
+/// at forced level-0 backtrack points inside search — where attaching
+/// them is trivially sound for the search state.
 ///
 /// Exported clauses must be logical consequences of the *shared* part
 /// of the problem — in the portfolio, the hard clauses of the MaxSAT
@@ -27,7 +29,10 @@
 /// keeps sharing sound under physical scope retirement.
 ///
 /// Implementations must be safe to call concurrently from the owning
-/// solver threads (the portfolio's pool locks internally).
+/// solver threads. Each endpoint is driven by exactly one thread (its
+/// worker); thread safety concerns only the traffic *between*
+/// endpoints, which the portfolio's pool handles with lock-free
+/// per-producer segments.
 
 #pragma once
 
@@ -45,15 +50,30 @@ class ClauseShare {
   virtual ~ClauseShare() = default;
 
   /// Offers a learnt clause (already filtered by the solver) to the
-  /// exchange. `glue` is the clause's LBD at learning time.
-  virtual void exportClause(std::span<const Lit> lits, int glue) = 0;
+  /// exchange. `glue` is the clause's LBD at learning time. Returns
+  /// true iff the clause was published; false when the exchange dropped
+  /// it (export segment full, or a duplicate of a clause this endpoint
+  /// already published or imported).
+  virtual bool exportClause(std::span<const Lit> lits, int glue) = 0;
 
-  /// Streams every foreign clause this endpoint has not seen yet into
-  /// `consume`. Called by the solver only at decision level 0. The
+  /// Streams foreign clauses this endpoint has not delivered yet into
+  /// `consume`, up to `maxClauses` of them (negative = no cap); the
+  /// rest stay queued for the next drain. Returns the number of foreign
+  /// publications *scanned*, including those skipped as duplicates —
+  /// the caller's scanned-vs-admitted observability hinges on the
+  /// distinction. Called by the solver only at decision level 0. The
   /// spans passed to `consume` are valid only for the duration of the
   /// callback.
-  virtual void importClauses(
-      const std::function<void(std::span<const Lit>)>& consume) = 0;
+  virtual int importClauses(
+      const std::function<void(std::span<const Lit>)>& consume,
+      int maxClauses) = 0;
+
+  /// Cheap hint: true when a drain would plausibly deliver something.
+  /// The solver's conflict-cadence import forces a level-0 backtrack
+  /// only when this returns true, so a quiet exchange costs no search
+  /// progress. Conservative overrides are fine (the default never
+  /// suppresses a drain).
+  [[nodiscard]] virtual bool hasPending() const { return true; }
 };
 
 }  // namespace msu

@@ -1068,11 +1068,17 @@ void Solver::relocAll(ClauseArena& to) {
 
 void Solver::maybeExportLearnt(std::span<const Lit> lits, std::uint32_t lbd) {
   if (!sharing() || !ok_) return;
-  if (static_cast<int>(lits.size()) > opts_.share_max_size) return;
-  if (lits.size() > 2 &&
-      lbd > static_cast<std::uint32_t>(opts_.share_max_lbd)) {
-    return;
+  // Lazy init of the dynamic ceilings (0 = not yet seeded from opts).
+  if (share_size_cur_ == 0) {
+    share_size_cur_ = opts_.share_max_size;
+    share_lbd_cur_ = opts_.share_max_lbd;
   }
+  const int maxSize = opts_.share_dynamic ? share_size_cur_
+                                          : opts_.share_max_size;
+  const int maxLbd = opts_.share_dynamic ? share_lbd_cur_
+                                         : opts_.share_max_lbd;
+  if (static_cast<int>(lits.size()) > maxSize) return;
+  if (lits.size() > 2 && lbd > static_cast<std::uint32_t>(maxLbd)) return;
   // Only clauses over the shareable variable prefix are consequences of
   // the shared (hard) part of the problem; anything touching a
   // selector, activator or encoding auxiliary stays private. See
@@ -1080,15 +1086,31 @@ void Solver::maybeExportLearnt(std::span<const Lit> lits, std::uint32_t lbd) {
   for (const Lit p : lits) {
     if (p.var() >= opts_.share_num_vars) return;
   }
-  opts_.share->exportClause(lits, static_cast<int>(lbd));
-  ++stats_.shared_exported;
+  if (opts_.share->exportClause(lits, static_cast<int>(lbd))) {
+    ++stats_.shared_exported;
+  } else {
+    ++stats_.shared_export_drops;
+  }
 }
 
-void Solver::importSharedClauses() {
+void Solver::importSharedClauses(int maxClauses) {
+  // Precondition: decision level 0 with a fully propagated trail.
+  // Imported clauses are attached with plain watch setup — units are
+  // enqueued and propagated at the root, longer clauses get arbitrary
+  // watches — which is only sound when no literal can already be
+  // falsified at a positive level. All three call sites guarantee it:
+  // solve() entry and its restart loop drain after backtracking to the
+  // root, and search()'s conflict-cadence site forces cancelUntil(0)
+  // first. A future caller draining mid-trail would attach over a
+  // non-root assignment and corrupt watch invariants; the assert keeps
+  // that from slipping in silently.
   if (!sharing() || !ok_) return;
   assert(decisionLevel() == 0);
+  assert(qhead_ == static_cast<int>(trail_.size()));
+  ++stats_.shared_import_drains;
   std::vector<Lit> ps;
-  opts_.share->importClauses([&](std::span<const Lit> lits) {
+  const int scanned = opts_.share->importClauses(
+      [&](std::span<const Lit> lits) {
     if (!ok_) return;
     ps.clear();
     bool satisfied = false;
@@ -1104,6 +1126,7 @@ void Solver::importSharedClauses() {
     }
     if (satisfied) {
       ++stats_.shared_import_drops;
+      ++share_win_misses_;
       return;
     }
     // Imported clauses are consequences of the shared hard clauses, not
@@ -1111,6 +1134,7 @@ void Solver::importSharedClauses() {
     // (sharing and refutation proofs don't meaningfully mix).
     traceAxiom(ps);
     ++stats_.shared_imported;
+    ++share_win_hits_;
     if (ps.empty()) {
       ok_ = false;
       return;
@@ -1139,7 +1163,34 @@ void Solver::importSharedClauses() {
     ++tierGauge(tier);
     learnts_.push_back(ref);
     attachClause(ref);
-  });
+  },
+      maxClauses);
+  stats_.shared_import_scanned += scanned;
+  // Dynamic export ceilings: per full window of imported clauses, move
+  // this worker's *export* filter one notch. A low attach rate means
+  // the traffic it receives is mostly stale (everyone learns the same
+  // facts), so the whole pool is likely over-sharing — tighten what we
+  // contribute. A high attach rate means sharing is pulling its weight
+  // — relax back toward the configured maxima. One notch per window
+  // keeps the feedback loop stable against bursty drains.
+  if (opts_.share_dynamic &&
+      share_win_hits_ + share_win_misses_ >= kShareWindow) {
+    if (share_size_cur_ == 0) {
+      share_size_cur_ = opts_.share_max_size;
+      share_lbd_cur_ = opts_.share_max_lbd;
+    }
+    if (share_win_hits_ * 2 < share_win_misses_) {
+      // Under a 1-in-3 attach rate: tighten.
+      share_size_cur_ = std::max(opts_.share_dyn_min_size, share_size_cur_ - 1);
+      share_lbd_cur_ = std::max(opts_.share_dyn_min_lbd, share_lbd_cur_ - 1);
+    } else if (share_win_hits_ > share_win_misses_) {
+      // Over half attached: relax.
+      share_size_cur_ = std::min(opts_.share_max_size, share_size_cur_ + 1);
+      share_lbd_cur_ = std::min(opts_.share_max_lbd, share_lbd_cur_ + 1);
+    }
+    share_win_hits_ = 0;
+    share_win_misses_ = 0;
+  }
 }
 
 bool Solver::withinBudget() const {
@@ -1246,6 +1297,27 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
       }
     } else {
       // No conflict.
+      // Conflict-cadence import: a forced mini-restart. When the
+      // cadence is due and the exchange has traffic, backtrack to the
+      // root — exactly what a restart would do — run one budgeted
+      // drain, and continue this search segment. Compared to waiting
+      // for a natural restart boundary, this bounds clause staleness on
+      // long stable plateaus (Luby tails, EMA-blocked stretches). The
+      // level-0 precondition of importSharedClauses() is established by
+      // the cancelUntil(0) here; see its definition for why it matters.
+      if (sharing() && opts_.share_import_interval > 0 &&
+          stats_.conflicts >= next_share_import_) {
+        next_share_import_ = stats_.conflicts + opts_.share_import_interval;
+        if (opts_.share->hasPending()) {
+          cancelUntil(0);
+          importSharedClauses(opts_.share_import_budget);
+          warm_solves_since_import_ = 0;
+          if (!ok_) {
+            traceLemma({});
+            return lbool::False;
+          }
+        }
+      }
       const bool restartNow =
           conflictsBeforeRestart >= 0
               ? conflictC >= conflictsBeforeRestart
@@ -1374,7 +1446,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
     // inprocessing its periodic shot at the database. A warm first
     // segment skips both — they run at the next genuine restart.
     if (decisionLevel() == 0) {
-      importSharedClauses();
+      importSharedClauses(opts_.share_import_budget);
       warm_solves_since_import_ = 0;
       if (!ok_ || !maybeInprocess()) {
         status = lbool::False;

@@ -282,6 +282,27 @@ class Solver {
     int share_max_size = 8;  ///< export ceiling on clause length
     int share_max_lbd = 4;   ///< export ceiling on LBD (clauses > 2 lits)
     Var share_num_vars = 0;  ///< only clauses over vars < this qualify
+    /// Conflict cadence of in-search import drains: every this many
+    /// conflicts, a sharing solver at a no-conflict point backtracks to
+    /// level 0 (a forced mini-restart) and runs one budgeted drain —
+    /// instead of waiting for a natural restart, which on long stable
+    /// plateaus can starve the exchange. 0 disables the cadence
+    /// (imports then happen only at solve entry and restart
+    /// boundaries, the pre-PR-7 behaviour).
+    std::int64_t share_import_interval = 256;
+    /// Max foreign clauses attached per drain; <0 = unbounded. Bounds
+    /// the level-0 work a drain injects so import cost stays amortized
+    /// against the conflict cadence.
+    int share_import_budget = 128;
+    /// Adapt the export ceilings to the measured usefulness of the
+    /// traffic: per adaptation window (see kShareWindow), if most
+    /// imported clauses were dropped as satisfied/void the ceilings
+    /// tighten toward (share_dyn_min_size, share_dyn_min_lbd); if most
+    /// attached, they relax back toward the configured maxima. Off =
+    /// fixed ceilings (bit-for-bit the static filter).
+    bool share_dynamic = true;
+    int share_dyn_min_size = 3;  ///< floor of the dynamic size ceiling
+    int share_dyn_min_lbd = 2;   ///< floor of the dynamic LBD ceiling
 
     /// Scope-aware inprocessing: at solve/restart boundaries (budgeted
     /// by propagations since the last pass), remove top-level-satisfied
@@ -610,7 +631,9 @@ class Solver {
     return opts_.share != nullptr && opts_.share_num_vars > 0;
   }
   void maybeExportLearnt(std::span<const Lit> lits, std::uint32_t lbd);
-  void importSharedClauses();
+  /// Budgeted level-0 drain; see the definition for the full
+  /// precondition contract. `maxClauses` < 0 = unbounded.
+  void importSharedClauses(int maxClauses);
 
   [[nodiscard]] bool locked(CRef ref) const;
   [[nodiscard]] int level(Var v) const { return vardata_[v].level; }
@@ -715,6 +738,17 @@ class Solver {
   std::vector<Lit> prev_assumptions_;
   static constexpr std::int64_t kWarmImportPeriod = 16;
   std::int64_t warm_solves_since_import_ = 0;
+
+  // Conflict-cadence import + dynamic export ceilings (sharing only).
+  // The ceilings start at the configured maxima and move one notch per
+  // kShareWindow imported clauses according to the window's attach
+  // rate; see adaptShareCeilings().
+  std::int64_t next_share_import_ = 0;  // stats_.conflicts threshold
+  int share_size_cur_ = 0;              // current dynamic size ceiling
+  int share_lbd_cur_ = 0;               // current dynamic LBD ceiling
+  std::int64_t share_win_hits_ = 0;     // window: imports attached
+  std::int64_t share_win_misses_ = 0;   // window: imports dropped
+  static constexpr std::int64_t kShareWindow = 64;
 
   // Adaptive-restart state (Options::ema_restarts).
   RestartEma restart_ema_;

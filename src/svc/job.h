@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/maxsat.h"
 #include "sat/budget.h"
@@ -44,6 +45,14 @@ struct JobLimits {
   /// Scheduling priority: higher runs first; ties break FIFO by
   /// submission order.
   int priority = 0;
+
+  /// Engine override for this job (harness/factory.h names); empty =
+  /// the service-wide SolveServiceOptions::engine. Lets one service
+  /// mix modes per request — e.g. "portfolio4" to race a
+  /// latency-critical job across cores, "cubes4" to shard one hard
+  /// instance, the default sequential engine for everything else.
+  /// Unknown names are rejected at submit() (kBadEngine).
+  std::optional<std::string> engine;
 
   /// Optional fault injector wired into the job's solver (tests only).
   /// Non-owning; must outlive the job.

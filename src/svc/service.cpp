@@ -84,6 +84,13 @@ SolveService::~SolveService() { shutdown(); }
 
 SolveService::Submission SolveService::submit(WcnfFormula formula,
                                               JobLimits limits) {
+  // Per-job engine overrides are validated here, synchronously, so a
+  // typo comes back as kBadEngine instead of a job that can never run.
+  // (The probe build is cheap: engines do no work until solve().)
+  if (limits.engine &&
+      makeSolver(*limits.engine, MaxSatOptions{}) == nullptr) {
+    return {SubmitStatus::kBadEngine, kJobIdUndef};
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return {SubmitStatus::kShutdown, kJobIdUndef};
   if (queue_.size() >= opts_.max_queue_depth) {
@@ -263,7 +270,11 @@ void SolveService::runJob(const std::shared_ptr<Job>& job) {
   opts.budget.setAbortSink(&job->abort);
   opts.sat.fault = job->limits.fault;
 
-  std::unique_ptr<MaxSatSolver> engine = makeSolver(opts_.engine, opts);
+  // A per-job engine override (validated at submit()) wins over the
+  // service-wide default.
+  const std::string& engineName =
+      job->limits.engine ? *job->limits.engine : opts_.engine;
+  std::unique_ptr<MaxSatSolver> engine = makeSolver(engineName, opts);
   assert(engine != nullptr);
   if (engine == nullptr) {  // release-build guard for unknown names
     opts.budget.noteAbort(AbortReason::kFault);

@@ -101,6 +101,7 @@ class SolveService {
     kAccepted,    ///< queued; `id` is valid
     kOverloaded,  ///< queue full — load shed, job NOT accepted
     kShutdown,    ///< service is shutting down
+    kBadEngine,   ///< JobLimits::engine is not a known engine name
   };
 
   struct Submission {

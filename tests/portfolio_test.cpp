@@ -39,14 +39,16 @@ TEST(SharedClausePool, EndpointCursorsAndSelfExclusion) {
   SharedClausePool pool(3, 10);
   const std::vector<Lit> c1 = clauseOf({1, -2});
   const std::vector<Lit> c2 = clauseOf({3, 4, -5});
-  pool.endpoint(0)->exportClause(c1, 2);
-  pool.endpoint(1)->exportClause(c2, 3);
+  EXPECT_TRUE(pool.endpoint(0)->exportClause(c1, 2));
+  EXPECT_TRUE(pool.endpoint(1)->exportClause(c2, 3));
 
   const auto drain = [&](int w) {
     std::vector<std::vector<Lit>> got;
-    pool.endpoint(w)->importClauses([&](std::span<const Lit> lits) {
-      got.emplace_back(lits.begin(), lits.end());
-    });
+    pool.endpoint(w)->importClauses(
+        [&](std::span<const Lit> lits) {
+          got.emplace_back(lits.begin(), lits.end());
+        },
+        /*maxClauses=*/-1);
     return got;
   };
 
@@ -59,41 +61,74 @@ TEST(SharedClausePool, EndpointCursorsAndSelfExclusion) {
   EXPECT_EQ(got2[0], c1);
   EXPECT_EQ(got2[1], c2);
 
-  // Cursors advance: a second drain is empty until new clauses arrive.
+  // Cursors advance: a second drain is empty until new clauses arrive,
+  // and the hasPending hint agrees.
   EXPECT_TRUE(drain(0).empty());
+  EXPECT_FALSE(pool.endpoint(0)->hasPending());
   EXPECT_TRUE(drain(2).empty());
-  pool.endpoint(2)->exportClause(clauseOf({6}), 1);
+  EXPECT_TRUE(pool.endpoint(2)->exportClause(clauseOf({6}), 1));
+  EXPECT_TRUE(pool.endpoint(0)->hasPending());
   const auto again0 = drain(0);
   ASSERT_EQ(again0.size(), 1u);
   EXPECT_EQ(again0[0], clauseOf({6}));
 }
 
-TEST(SharedClausePool, DeduplicatesAcrossWorkersAndOrders) {
+TEST(SharedClausePool, ImportBudgetCapsADrainAndTheRestStaysQueued) {
   SharedClausePool pool(2, 10);
-  pool.endpoint(0)->exportClause(clauseOf({1, 2, 3}), 3);
-  // Same clause, different literal order, different producer.
-  pool.endpoint(1)->exportClause(clauseOf({3, 1, 2}), 3);
-  EXPECT_EQ(pool.numClauses(), 1);
-  EXPECT_EQ(pool.numDuplicates(), 1);
-  // Worker 1 still imports the first publication (it was worker 0's).
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(pool.endpoint(0)->exportClause(clauseOf({i}), 1));
+  }
+  int got = 0;
+  const int scanned = pool.endpoint(1)->importClauses(
+      [&](std::span<const Lit>) { ++got; }, /*maxClauses=*/2);
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(scanned, 2);
+  EXPECT_TRUE(pool.endpoint(1)->hasPending());
+  got = 0;
+  pool.endpoint(1)->importClauses([&](std::span<const Lit>) { ++got; },
+                                  /*maxClauses=*/-1);
+  EXPECT_EQ(got, 3);  // remainder delivered, nothing lost
+  EXPECT_FALSE(pool.endpoint(1)->hasPending());
+}
+
+TEST(SharedClausePool, DeduplicatesPerEndpointAcrossOrders) {
+  SharedClausePool pool(2, 10);
+  EXPECT_TRUE(pool.endpoint(0)->exportClause(clauseOf({1, 2, 3}), 3));
+  // Same clause, different literal order, different producer: the
+  // lock-free store keeps both publications (dedup is per endpoint,
+  // not global), but no endpoint ever *delivers* a clause twice.
+  EXPECT_TRUE(pool.endpoint(1)->exportClause(clauseOf({3, 1, 2}), 3));
+  EXPECT_EQ(pool.numClauses(), 2);
+  // Worker 1 already knows the clause (it published it): worker 0's
+  // copy is scanned but skipped as an endpoint-duplicate.
   int seen = 0;
-  pool.endpoint(1)->importClauses(
-      [&](std::span<const Lit>) { ++seen; });
-  EXPECT_EQ(seen, 1);
+  const int scanned = pool.endpoint(1)->importClauses(
+      [&](std::span<const Lit>) { ++seen; }, /*maxClauses=*/-1);
+  EXPECT_EQ(seen, 0);
+  EXPECT_EQ(scanned, 1);
+  EXPECT_EQ(pool.numDuplicates(), 1);
+  // Worker 1 re-exporting its own clause is dropped at the endpoint.
+  EXPECT_FALSE(pool.endpoint(1)->exportClause(clauseOf({1, 2, 3}), 3));
+  EXPECT_EQ(pool.numClauses(), 2);
+  EXPECT_EQ(pool.numDuplicates(), 2);
 }
 
 /// Capturing exchange for export-filter tests.
 class CapturingShare final : public ClauseShare {
  public:
-  void exportClause(std::span<const Lit> lits, int glue) override {
+  bool exportClause(std::span<const Lit> lits, int glue) override {
     exported.emplace_back(lits.begin(), lits.end());
     glues.push_back(glue);
+    return true;
   }
-  void importClauses(
-      const std::function<void(std::span<const Lit>)>& consume) override {
+  int importClauses(const std::function<void(std::span<const Lit>)>& consume,
+                    int /*maxClauses*/) override {
+    const int scanned = static_cast<int>(pending.size());
     for (const auto& c : pending) consume(c);
     pending.clear();
+    return scanned;
   }
+  [[nodiscard]] bool hasPending() const override { return !pending.empty(); }
 
   std::vector<std::vector<Lit>> exported;
   std::vector<int> glues;
