@@ -1,0 +1,225 @@
+/// \file ablation_trace.cpp
+/// \brief Tracer-overhead A/B: every case is solved twice — tracing OFF
+///        (Options::trace == nullptr, the production default) and
+///        tracing ON (an enabled obs::Tracer wired through the solve) —
+///        and the driver reports per-case wall time plus the geomean
+///        on/off overhead. This is the evidence behind shipping the
+///        tracer compiled in (see bench/README.md "Tracer overhead");
+///        the committed bench/BENCH_ablation_trace.json is gated in CI
+///        via check_regression.py --mode ab (the off/on *ratio* is
+///        machine-independent, unlike raw wall clocks — it falls when
+///        tracing gets more expensive, which is what the gate catches).
+///
+/// Usage: ablation_trace [--reps N] [--json [path]]
+///
+/// The CNF cases run the bare CDCL substrate (solve + restart-segment
+/// spans, the hot emission sites); the msu4 case runs a full MaxSAT
+/// engine so oracle-call and core-trimming spans are measured too.
+/// Tracing must not perturb the search: both legs must agree on status
+/// and conflict count, and the driver aborts otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/msu4.h"
+#include "gen/bmc.h"
+#include "gen/miter.h"
+#include "gen/pigeonhole.h"
+#include "gen/random_cnf.h"
+#include "obs/trace.h"
+#include "sat/solver.h"
+
+namespace {
+
+using namespace msu;
+
+/// One measured A/B leg: wall seconds plus a trajectory checksum that
+/// must match between the legs (tracing is observation-only).
+struct RunOut {
+  double secs = 0.0;
+  std::int64_t satCalls = 1;
+  std::int64_t conflicts = 0;
+  std::int64_t checksum = 0;
+};
+
+struct Case {
+  std::string name;
+  std::function<RunOut(obs::Tracer* tracer)> run;
+};
+
+/// Bare-substrate case: one cold solve of a CNF instance.
+Case cnfCase(const std::string& name, CnfFormula f, lbool expected) {
+  return {name, [f = std::move(f), expected](obs::Tracer* tracer) {
+            Solver::Options so;
+            so.trace = tracer;
+            Solver s(so);
+            while (s.numVars() < f.numVars()) {
+              static_cast<void>(s.newVar());
+            }
+            bool ok = true;
+            for (const Clause& cl : f.clauses()) {
+              if (!s.addClause(cl)) {
+                ok = false;
+                break;
+              }
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            const lbool status = ok ? s.solve() : lbool::False;
+            RunOut out;
+            out.secs = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+            if (status != expected) {
+              std::cerr << "unexpected status\n";
+              std::exit(1);
+            }
+            out.conflicts = s.stats().conflicts;
+            out.checksum = s.stats().conflicts * 3 + s.stats().decisions;
+            return out;
+          }};
+}
+
+/// Full-engine case: msu4-v2 end to end, so oracle-call, core-trimming
+/// and restart spans are all on the measured path.
+Case engineCase(const std::string& name, WcnfFormula wcnf) {
+  return {name, [wcnf = std::move(wcnf)](obs::Tracer* tracer) {
+            MaxSatOptions o;
+            o.sat.trace = tracer;
+            Msu4Solver solver(o);
+            const auto t0 = std::chrono::steady_clock::now();
+            const MaxSatResult r = solver.solve(wcnf);
+            RunOut out;
+            out.secs = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+            if (r.status != MaxSatStatus::Optimum) {
+              std::cerr << "no optimum\n";
+              std::exit(1);
+            }
+            out.satCalls = r.satCalls;
+            out.conflicts = r.satStats.conflicts;
+            out.checksum = r.cost * 31 + r.satStats.conflicts;
+            return out;
+          }};
+}
+
+std::vector<Case> buildCases() {
+  std::vector<Case> cases;
+  {
+    RandomCircuitParams p;
+    p.numInputs = 10;
+    p.numGates = 800;
+    p.numOutputs = 3;
+    p.seed = 11;
+    cases.push_back(
+        cnfCase("miter-800", equivalenceInstance(p, 99), lbool::False));
+  }
+  cases.push_back(cnfCase(
+      "bmc-45", bmcCounterInstance({.bits = 6, .steps = 45}), lbool::False));
+  cases.push_back(cnfCase("php-8", pigeonhole(9, 8), lbool::False));
+  cases.push_back(cnfCase("rand3sat-280",
+                          randomKSat({.numVars = 280,
+                                      .numClauses = 1120,
+                                      .clauseLen = 3,
+                                      .seed = 17}),
+                          lbool::True));
+  cases.push_back(engineCase(
+      "msu4v2-rnd3sat40",
+      WcnfFormula::allSoft(randomUnsat3Sat(40, 5.6, 7))));
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  bool json = false;
+  std::string jsonPath = "BENCH_ablation_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).ends_with(".json")) {
+        jsonPath = argv[++i];
+      }
+    } else {
+      std::cerr << "usage: ablation_trace [--reps N] [--json [path]]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<Case> cases = buildCases();
+  std::vector<benchjson::BenchRecord> records;
+
+  std::cout << std::left << std::setw(20) << "case" << std::right
+            << std::setw(10) << "off[ms]" << std::setw(10) << "on[ms]"
+            << std::setw(11) << "conflicts" << std::setw(11) << "overhead"
+            << '\n';
+
+  double logSum = 0.0;
+  for (const Case& c : cases) {
+    RunOut best[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      for (int r = 0; r < reps; ++r) {
+        obs::Tracer tracer;
+        tracer.setEnabled(true);
+        // Register this thread's ring before the clock starts: the
+        // one-time buffer allocation is not the steady-state emission
+        // cost the record (and the CI gate) is about.
+        tracer.instant(obs::TraceCat::kOracle, "warmup");
+        RunOut out = c.run(mode == 0 ? nullptr : &tracer);
+        if (r == 0 || out.secs < best[mode].secs) best[mode] = out;
+      }
+    }
+    if (best[0].checksum != best[1].checksum) {
+      std::cerr << c.name << ": tracing perturbed the search ("
+                << best[0].checksum << " vs " << best[1].checksum << ")\n";
+      return 1;
+    }
+    // overhead > 0 means the traced leg is slower; the JSON gate sees
+    // the same quantity as the off/on speedup 1/(1+overhead).
+    const double overhead = best[1].secs / best[0].secs - 1.0;
+    logSum += std::log(best[1].secs / best[0].secs);
+
+    for (int mode = 0; mode < 2; ++mode) {
+      benchjson::BenchRecord rec;
+      rec.name = c.name + (mode == 0 ? "/off" : "/on");
+      rec.wallMs = best[mode].secs * 1e3;
+      rec.reps = reps;
+      rec.counters = {
+          {"sat_calls", best[mode].satCalls},
+          {"conflicts", best[mode].conflicts},
+      };
+      records.push_back(rec);
+    }
+
+    std::cout << std::left << std::setw(20) << c.name << std::right
+              << std::setw(10) << std::fixed << std::setprecision(2)
+              << best[0].secs * 1e3 << std::setw(10) << best[1].secs * 1e3
+              << std::setw(11) << best[0].conflicts << std::setw(10)
+              << std::setprecision(1) << overhead * 1e2 << "%\n";
+  }
+
+  std::cout << "\ngeomean tracing-on overhead: " << std::setprecision(2)
+            << (std::exp(logSum / static_cast<double>(cases.size())) - 1.0) *
+                   1e2
+            << "%\n";
+
+  if (json) {
+    if (!benchjson::writeJsonFile(jsonPath, "ablation_trace", records)) {
+      return 1;
+    }
+    std::cout << "wrote " << jsonPath << '\n';
+  }
+  return 0;
+}

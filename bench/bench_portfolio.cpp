@@ -5,13 +5,18 @@
 ///        clause sharing on) at 1, 2 and 4 workers, and the driver
 ///        reports per-instance speedups plus the 1→4-thread geomean.
 ///
-/// Usage: bench_portfolio [--reps N] [--json [path]]
+/// Usage: bench_portfolio [--reps N] [--json [path]] [--trace FILE]
 ///
 ///   --reps   best-of-N wall times per configuration (default 3: the
 ///            regression gate compares minima, and on shared CI
 ///            runners a single sample is mostly scheduler noise)
 ///   --json   write bench/BENCH_portfolio.json (per-(instance,threads)
 ///            wall time, winner worker/engine and sharing counters)
+///   --trace  instead of the sweep, run ONE 4-worker portfolio solve of
+///            the first clause-sharing case with the obs tracer enabled
+///            and write the Chrome trace_event JSON to FILE (the
+///            nightly-CI sample artifact; open it in Perfetto — see
+///            bench/README.md "Reading a trace")
 ///
 /// Besides the portfolio sweep the driver emits:
 ///  * a `seq-direct` record — the bmc + mix3sat cases solved by plain
@@ -52,6 +57,7 @@
 #include "gen/graphs.h"
 #include "gen/random_cnf.h"
 #include "harness/factory.h"
+#include "obs/trace.h"
 #include "par/cube.h"
 #include "par/portfolio.h"
 
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   bool writeJson = false;
   std::string jsonPath = "bench/BENCH_portfolio.json";
+  std::string tracePath;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--reps" && i + 1 < argc) {
@@ -138,13 +145,49 @@ int main(int argc, char** argv) {
           std::string(argv[i + 1]).find(".json") != std::string::npos) {
         jsonPath = argv[++i];
       }
+    } else if (arg == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
     } else {
-      std::cerr << "usage: bench_portfolio [--reps N] [--json [path]]\n";
+      std::cerr << "usage: bench_portfolio [--reps N] [--json [path]] "
+                   "[--trace FILE]\n";
       return 2;
     }
   }
 
   const std::vector<Case> cases = buildCases();
+
+  if (!tracePath.empty()) {
+    // Trace-sample mode: one 4-worker portfolio run of the first
+    // hard-rich (clause-sharing) case, exported as Chrome trace JSON.
+    // Not a measurement — the point is a real multi-worker trace with
+    // solve/restart/import-drain spans across four timelines.
+    const Case* traced = nullptr;
+    for (const Case& c : cases) {
+      if (c.name.rfind("mix3sat-", 0) == 0) traced = &c;
+    }
+    if (traced == nullptr) traced = &cases.front();
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    PortfolioOptions po;
+    po.threads = 4;
+    po.base.budget = Budget::wallClock(300.0);
+    po.base.sat.trace = &tracer;
+    PortfolioSolver solver(po);
+    const MaxSatResult r = solver.solve(traced->wcnf);
+    if (r.status != MaxSatStatus::Optimum) {
+      std::cerr << "trace run: " << traced->name << " without an optimum\n";
+      return 1;
+    }
+    if (!tracer.exportChromeTrace(tracePath)) {
+      std::cerr << "cannot write " << tracePath << '\n';
+      return 1;
+    }
+    std::cout << "traced " << traced->name << " (4 workers, cost " << r.cost
+              << "): wrote " << tracePath << " (" << tracer.retained()
+              << " events, " << tracer.dropped() << " dropped, "
+              << tracer.threadsSeen() << " threads)\n";
+    return 0;
+  }
   const std::vector<int> threadCounts{1, 2, 4};
   std::vector<benchjson::BenchRecord> records;
   std::vector<double> speedups;  // t1 / t4 per instance

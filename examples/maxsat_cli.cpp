@@ -29,6 +29,12 @@
 ///                       rephasing; Solver::Options::ema_restarts)
 ///     --stats           print run statistics (engine + CDCL substrate
 ///                       in one aligned block)
+///     --trace FILE      record an execution trace (oracle calls, core
+///                       trimming, restart segments, import drains,
+///                       cube/worker activity) and write it as Chrome
+///                       trace_event JSON — open FILE in Perfetto
+///                       (ui.perfetto.dev) or chrome://tracing; see
+///                       bench/README.md "Reading a trace"
 ///     --no-model        suppress the v line
 ///     --list            list available engines
 
@@ -41,6 +47,7 @@
 #include "core/preprocess.h"
 #include "harness/factory.h"
 #include "harness/tables.h"
+#include "obs/trace.h"
 #include "par/cube.h"
 #include "par/portfolio.h"
 
@@ -52,8 +59,8 @@ void usage() {
       "                  [--timeout SEC]\n"
       "                  [--inprocess] [--reuse-trail|--no-reuse-trail]\n"
       "                  [--restart luby|geom|ema] [--stats]\n"
-      "                  [--preprocess] [--no-model] [--list]\n"
-      "                  [file.wcnf|-]\n";
+      "                  [--trace FILE] [--preprocess] [--no-model]\n"
+      "                  [--list] [file.wcnf|-]\n";
 }
 
 }  // namespace
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool preprocess = false;
   bool printModel = true;
+  std::string tracePath;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +113,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
     } else if (arg == "--preprocess") {
       preprocess = true;
     } else if (arg == "--no-model") {
@@ -158,6 +168,11 @@ int main(int argc, char** argv) {
 
   MaxSatOptions opts;
   if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
+  obs::Tracer tracer;
+  if (!tracePath.empty()) {
+    tracer.setEnabled(true);
+    opts.sat.trace = &tracer;
+  }
   opts.sat.inprocess = inprocess;
   opts.sat.reuse_trail = reuseTrail;
   opts.sat.luby_restarts = restart != "geom";
@@ -256,6 +271,20 @@ int main(int argc, char** argv) {
     const EngineRunCounters eng{result.iterations, result.coresFound,
                                 result.satCalls};
     printRunStats(std::cout, eng, result.satStats, "run statistics:", "c ");
+  }
+  if (!tracePath.empty()) {
+    // Workers are joined (solve returned), so the export-at-quiescence
+    // contract holds here.
+    if (tracer.exportChromeTrace(tracePath)) {
+      std::cout << "c trace: wrote " << tracePath << " ("
+                << tracer.retained() << " events";
+      if (tracer.dropped() > 0) {
+        std::cout << ", " << tracer.dropped() << " dropped";
+      }
+      std::cout << ")\n";
+    } else {
+      std::cerr << "c trace: cannot write " << tracePath << "\n";
+    }
   }
   return result.status == MaxSatStatus::Unknown ? 1 : 0;
 }

@@ -10,6 +10,15 @@
 ///     --engine NAME        engine for every job (default msu4-v2)
 ///     --queue-depth N      shed load beyond N queued jobs (default 64)
 ///     --max-job-seconds S  service-wide watchdog ceiling per job
+///     --metrics-every S    every S seconds, print a live progress line
+///                          per running job (anytime bounds, conflicts,
+///                          memory — the poll() snapshot) plus the
+///                          service gauges, and finish with a full
+///                          Prometheus-format metrics snapshot
+///
+/// The service always runs with a metrics registry wired in; the final
+/// summary line reports the peak service-wide solver memory observed
+/// (the `msu_svc_mem_bytes` gauge, aggregated across running jobs).
 ///
 /// Job file: one job per line, `#` comments and blank lines ignored:
 ///   <path.wcnf> [wall=SEC] [conflicts=N] [mem=BYTES] [prio=P]
@@ -22,15 +31,19 @@
 /// aborted jobs still print their best incumbent bounds — the service's
 /// graceful-degradation contract.
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cnf/dimacs.h"
+#include "obs/metrics.h"
 #include "svc/service.h"
 
 namespace {
@@ -67,7 +80,8 @@ bool parseJobLine(const std::string& line, JobSpec& spec) {
 void usage() {
   std::cout << "usage: example_maxsatd [--workers N] [--engine NAME]\n"
                "                       [--queue-depth N] "
-               "[--max-job-seconds S] jobs.txt\n";
+               "[--max-job-seconds S]\n"
+               "                       [--metrics-every S] jobs.txt\n";
 }
 
 }  // namespace
@@ -77,6 +91,7 @@ int main(int argc, char** argv) {
 
   SolveServiceOptions svcOpts;
   svcOpts.workers = 2;
+  double metricsEvery = 0.0;
   std::string jobFile;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +104,8 @@ int main(int argc, char** argv) {
       svcOpts.max_queue_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--max-job-seconds" && i + 1 < argc) {
       svcOpts.default_max_job_seconds = std::atof(argv[++i]);
+    } else if (arg == "--metrics-every" && i + 1 < argc) {
+      metricsEvery = std::atof(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -129,6 +146,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::MetricsRegistry registry;
+  svcOpts.metrics = &registry;
   SolveService service(svcOpts);
   std::cout << "c maxsatd: " << specs.size() << " job(s), "
             << svcOpts.workers << " worker(s), engine " << svcOpts.engine
@@ -161,6 +180,52 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(row));
   }
 
+  // Live progress monitor: a sampling thread that polls every accepted
+  // job and prints anytime bounds + work counters for the running ones
+  // (SolveService::poll() exposes the job's ProgressSink), plus the
+  // service-wide gauges. It also tracks the peak of the aggregated
+  // memory gauge for the final summary.
+  std::atomic<bool> monitorStop{false};
+  std::atomic<std::int64_t> peakMem{0};
+  auto samplePeak = [&] {
+    const std::int64_t mem = registry.gauge("msu_svc_mem_bytes").value();
+    std::int64_t prev = peakMem.load();
+    while (mem > prev && !peakMem.compare_exchange_weak(prev, mem)) {
+    }
+  };
+  std::thread monitor;
+  if (metricsEvery > 0.0) {
+    monitor = std::thread([&] {
+      const auto period =
+          std::chrono::duration<double>(metricsEvery);
+      while (!monitorStop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        if (monitorStop.load(std::memory_order_acquire)) break;
+        samplePeak();
+        std::ostringstream os;
+        os << "c metrics: queued="
+           << registry.gauge("msu_svc_queue_depth").value() << " running="
+           << registry.gauge("msu_svc_running_jobs").value() << " mem="
+           << registry.gauge("msu_svc_mem_bytes").value() << "B\n";
+        for (const Row& row : rows) {
+          if (row.id == kJobIdUndef) continue;
+          const auto st = service.poll(row.id);
+          if (!st || st->state != JobState::kRunning) continue;
+          os << "c live: job " << row.id << " " << row.path << " lb="
+             << st->lowerBound << " ub=";
+          if (st->hasUpperBound) {
+            os << st->upperBound;
+          } else {
+            os << "?";
+          }
+          os << " conflicts=" << st->conflicts << " calls=" << st->satCalls
+             << " mem=" << st->memBytes << "B\n";
+        }
+        std::cout << os.str() << std::flush;
+      }
+    });
+  }
+
   int exitCode = 0;
   for (const Row& row : rows) {
     std::cout << std::left << std::setw(32) << row.path << " ";
@@ -170,6 +235,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const JobOutcome out = service.await(row.id);
+    samplePeak();
     const MaxSatResult& r = out.result;
     switch (r.status) {
       case MaxSatStatus::Optimum:
@@ -192,8 +258,17 @@ int main(int argc, char** argv) {
               << "s\n";
   }
 
+  if (monitor.joinable()) {
+    monitorStop.store(true, std::memory_order_release);
+    monitor.join();
+  }
+
   const SolveService::Counters c = service.counters();
   std::cout << "c submitted=" << c.submitted << " completed=" << c.completed
-            << " shed=" << c.shed << "\n";
+            << " shed=" << c.shed << " peak-mem=" << peakMem.load() << "B\n";
+  if (metricsEvery > 0.0) {
+    std::cout << "c prometheus snapshot:\n";
+    registry.writeProm(std::cout);
+  }
   return exitCode;
 }

@@ -26,6 +26,8 @@
 
 #include "cnf/wcnf.h"
 #include "encodings/cardinality.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "sat/budget.h"
 #include "sat/solver.h"
 #include "sat/stats.h"
@@ -112,6 +114,20 @@ struct MaxSatOptions {
   /// first model exists. Engines guarantee both sequences are monotone
   /// (lower non-decreasing, upper non-increasing). Leave empty for none.
   std::function<void(Weight lower, Weight upper)> onBounds;
+
+  /// Optional live-progress sink (non-owning; must outlive the run).
+  /// OracleSession streams conflict/solve-call/memory deltas into it
+  /// after every oracle call, so an observer thread (SolveService::
+  /// poll(), a UI) can watch a running job without any callback
+  /// plumbing. Bounds flow in via onBounds — the SolveService installs
+  /// a wrapper that feeds both the sink and any caller callback.
+  obs::ProgressSink* progress = nullptr;
+
+  /// Optional metrics registry (non-owning; must outlive the run).
+  /// When set, OracleSession observes every oracle call's latency into
+  /// the `msu_oracle_solve_us` histogram. Left null (the default) the
+  /// sessions take no clock readings at all.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Abstract MaxSAT engine.

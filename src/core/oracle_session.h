@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <optional>
 #include <span>
 #include <vector>
@@ -59,8 +60,22 @@ namespace msu {
 class OracleSession {
  public:
   explicit OracleSession(const MaxSatOptions& opts)
-      : sat_(opts.sat), sink_(sat_) {
+      : sat_(opts.sat),
+        sink_(sat_),
+        progress_(opts.progress),
+        trace_(opts.sat.trace) {
     sat_.setBudget(opts.budget);
+    if (opts.metrics != nullptr) {
+      solve_us_ = &opts.metrics->histogram(
+          "msu_oracle_solve_us", "Latency of SAT oracle solve() calls");
+    }
+  }
+
+  /// A dying session withdraws its memory contribution from the sink
+  /// (mem_bytes is a gauge): engines that rebuild sessions mid-run must
+  /// not leave stale bytes counted forever.
+  ~OracleSession() {
+    if (progress_ != nullptr) progress_->addMemBytes(-progress_mem_);
   }
 
   OracleSession(const OracleSession&) = delete;
@@ -132,10 +147,24 @@ class OracleSession {
   /// live scope activators are appended by the solver itself.
   [[nodiscard]] lbool solve(std::span<const Lit> extra = {}) {
     ++sat_calls_;
-    if (!tracker_) return sat_.solve(extra);
-    assumps_buf_ = tracker_->assumptions();
-    assumps_buf_.insert(assumps_buf_.end(), extra.begin(), extra.end());
-    return sat_.solve(assumps_buf_);
+    const auto t0 = solve_us_ != nullptr
+                        ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+    lbool res;
+    if (!tracker_) {
+      res = sat_.solve(extra);
+    } else {
+      assumps_buf_ = tracker_->assumptions();
+      assumps_buf_.insert(assumps_buf_.end(), extra.begin(), extra.end());
+      res = sat_.solve(assumps_buf_);
+    }
+    if (solve_us_ != nullptr) {
+      solve_us_->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+    }
+    syncProgress(1);
+    return res;
   }
 
   [[nodiscard]] lbool solve(std::initializer_list<Lit> extra) {
@@ -150,9 +179,13 @@ class OracleSession {
   /// satCalls() instead of a caller-side guess.
   [[nodiscard]] std::vector<Lit> trimCore(std::vector<Lit> core,
                                           const CoreTrimOptions& opts = {}) {
+    obs::TraceSpan span(trace_, obs::TraceCat::kCore, "trim-core");
     const std::int64_t before = sat_.stats().solves;
     core = msu::trimCore(sat_, std::move(core), opts);
-    sat_calls_ += sat_.stats().solves - before;
+    const std::int64_t calls = sat_.stats().solves - before;
+    sat_calls_ += calls;
+    syncProgress(calls);
+    span.arg("lits", static_cast<std::int64_t>(core.size()));
     return core;
   }
 
@@ -160,9 +193,13 @@ class OracleSession {
   /// the (conflict-budgeted) drop attempts count into satCalls().
   [[nodiscard]] std::vector<Lit> minimizeCore(
       std::vector<Lit> core, const CoreTrimOptions& opts = {}) {
+    obs::TraceSpan span(trace_, obs::TraceCat::kCore, "minimize-core");
     const std::int64_t before = sat_.stats().solves;
     core = msu::minimizeCore(sat_, std::move(core), opts);
-    sat_calls_ += sat_.stats().solves - before;
+    const std::int64_t calls = sat_.stats().solves - before;
+    sat_calls_ += calls;
+    syncProgress(calls);
+    span.arg("lits", static_cast<std::int64_t>(core.size()));
     return core;
   }
 
@@ -177,8 +214,28 @@ class OracleSession {
   }
 
  private:
+  /// Streams the deltas since the last sync into the live-progress
+  /// sink (no-op without one). Deltas — not totals — so the multiple
+  /// sessions of one job (portfolio/cube workers) aggregate instead of
+  /// clobbering each other; mem deltas may be negative (retirement,
+  /// garbage collection) and keep each session's contribution honest.
+  void syncProgress(std::int64_t calls) {
+    if (progress_ == nullptr) return;
+    const SolverStats& s = sat_.stats();
+    progress_->addSatCalls(calls);
+    progress_->addConflicts(s.conflicts - progress_conflicts_);
+    progress_conflicts_ = s.conflicts;
+    progress_->addMemBytes(s.mem_bytes - progress_mem_);
+    progress_mem_ = s.mem_bytes;
+  }
+
   Solver sat_;
   SolverSink sink_;
+  obs::ProgressSink* progress_ = nullptr;
+  obs::Tracer* trace_ = nullptr;
+  obs::Histogram* solve_us_ = nullptr;
+  std::int64_t progress_conflicts_ = 0;
+  std::int64_t progress_mem_ = 0;
   std::optional<SoftTracker> tracker_;
   std::int64_t sat_calls_ = 0;
   std::vector<Lit> assumps_buf_;

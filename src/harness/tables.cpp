@@ -240,4 +240,23 @@ void printRunStats(std::ostream& out, const EngineRunCounters& engine,
   printSatStatsRows(out, stats, linePrefix);
 }
 
+void exportStatsToMetrics(obs::MetricsRegistry& registry,
+                          const SolverStats& stats) {
+  // The gauge-natured fields of SolverStats (see stats.h): everything
+  // else is a monotone tally of work performed and maps to a counter.
+  const auto isGauge = [](const std::string& name) {
+    return name == "tier_core" || name == "tier_tier2" ||
+           name == "tier_local" || name == "restart_mode" ||
+           name == "mem_bytes";
+  };
+  stats.forEachField([&](const char* name, std::int64_t value) {
+    const std::string n(name);
+    if (isGauge(n)) {
+      registry.gauge("msu_solver_" + n).set(value);
+    } else {
+      registry.counter("msu_solver_" + n + "_total").add(value);
+    }
+  });
+}
+
 }  // namespace msu

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/runner.h"
+#include "obs/metrics.h"
 #include "sat/stats.h"
 
 namespace msu {
@@ -78,5 +79,15 @@ struct EngineRunCounters {
 void printRunStats(std::ostream& out, const EngineRunCounters& engine,
                    const SolverStats& stats, const std::string& title,
                    const std::string& linePrefix = "");
+
+/// Mirrors a SolverStats block into `registry` as `msu_solver_<field>`
+/// metrics — driven by the same MSU_SOLVER_STATS_FIELDS X-macro that
+/// printSatStats renders, so the two dump paths can never diverge.
+/// Search-work fields accumulate into `_total` counters; the gauge
+/// fields (`tier_*` occupancy, `restart_mode`, `mem_bytes`) overwrite
+/// gauges instead. Call once per finished run (the SolveService does,
+/// per job).
+void exportStatsToMetrics(obs::MetricsRegistry& registry,
+                          const SolverStats& stats);
 
 }  // namespace msu

@@ -1,0 +1,104 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace msu {
+namespace obs {
+
+int Histogram::bucketIndex(std::int64_t v) {
+  if (v <= 1) return 0;
+  // Smallest i with v <= 2^i, i.e. the bit width of v-1.
+  int i = 0;
+  std::uint64_t x = static_cast<std::uint64_t>(v - 1);
+  while (x != 0) {
+    x >>= 1;
+    ++i;
+  }
+  return i < kBuckets ? i : kBuckets - 1;
+}
+
+std::int64_t Histogram::bucketUpperBound(int i) {
+  if (i >= kBuckets - 1) return -1;  // +Inf
+  return std::int64_t{1} << i;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::findOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind)
+      throw std::logic_error("metric '" + name +
+                             "' re-registered with a different kind");
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *findOrCreate(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *findOrCreate(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  return *findOrCreate(name, help, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::writeProm(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) out << "# HELP " << name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        std::int64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          cum += e.histogram->bucketCount(i);
+          const std::int64_t ub = Histogram::bucketUpperBound(i);
+          out << name << "_bucket{le=\"";
+          if (ub < 0)
+            out << "+Inf";
+          else
+            out << ub;
+          out << "\"} " << cum << "\n";
+        }
+        out << name << "_sum " << e.histogram->sum() << "\n";
+        out << name << "_count " << e.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace msu

@@ -13,6 +13,7 @@
 #include "core/oracle_session.h"
 #include "core/wlinear.h"
 #include "encodings/cardinality.h"
+#include "obs/trace.h"
 #include "par/clause_pool.h"
 #include "par/worksteal.h"
 
@@ -304,7 +305,13 @@ MaxSatResult CubeSolver::solve(const WcnfFormula& formula) {
 
   CubeSplitOptions split = opts_.split;
   if (split.maxCubes <= 0) split.maxCubes = std::max(16, 8 * opts_.threads);
-  const CubeSplitResult sr = splitCubes(formula, split);
+  obs::Tracer* const tracer = opts_.base.sat.trace;
+  CubeSplitResult sr;
+  {
+    obs::TraceSpan splitSpan(tracer, obs::TraceCat::kCube, "cube-split");
+    sr = splitCubes(formula, split);
+    splitSpan.arg("cubes", static_cast<std::int64_t>(sr.cubes.size()));
+  }
   last_num_cubes_ = static_cast<int>(sr.cubes.size());
 
   if (sr.rootConflict) {
@@ -358,6 +365,8 @@ MaxSatResult CubeSolver::solve(const WcnfFormula& formula) {
   std::vector<WorkerOut> outs(static_cast<std::size_t>(n));
 
   auto workerRun = [&](int w, const Budget& budget) {
+    obs::TraceSpan workerSpan(tracer, obs::TraceCat::kWorker, "cube-worker");
+    workerSpan.arg("worker", w);
     WorkerOut& out = outs[static_cast<std::size_t>(w)];
     MaxSatOptions wopts = opts_.base;
     wopts.budget = budget;
@@ -420,6 +429,8 @@ MaxSatResult CubeSolver::solve(const WcnfFormula& formula) {
           sawWork = true;
           if (auto c = deques[v]->steal()) {
             shared.steals.fetch_add(1, std::memory_order_relaxed);
+            obs::traceInstant(tracer, obs::TraceCat::kCube, "steal", "cube",
+                              *c);
             return c;
           }
         }
@@ -430,6 +441,8 @@ MaxSatResult CubeSolver::solve(const WcnfFormula& formula) {
     while (!shared.stop.load(std::memory_order_acquire)) {
       const std::optional<int> ci = nextCube();
       if (!ci) break;
+      obs::TraceSpan cubeSpan(tracer, obs::TraceCat::kCube, "cube");
+      cubeSpan.arg("cube", *ci);
       const std::vector<Lit>& cube = sr.cubes[static_cast<std::size_t>(*ci)];
       while (true) {
         if (shared.stop.load(std::memory_order_acquire)) goto done;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "harness/factory.h"
+#include "obs/trace.h"
 #include "par/clause_pool.h"
 
 namespace msu {
@@ -171,6 +172,9 @@ MaxSatResult PortfolioSolver::solve(const WcnfFormula& formula) {
     for (int w = 0; w < n; ++w) {
       workers.emplace_back([&, w] {
         const WorkerConfig& cfg = configs[static_cast<std::size_t>(w)];
+        obs::TraceSpan span(cfg.opts.sat.trace, obs::TraceCat::kWorker,
+                            "portfolio-worker");
+        span.arg("worker", w);
         std::unique_ptr<MaxSatSolver> solver =
             makeSolver(cfg.engine, cfg.opts);
         if (solver == nullptr) return;  // ctor validated; stays Unknown
@@ -180,6 +184,8 @@ MaxSatResult PortfolioSolver::solve(const WcnfFormula& formula) {
           // budget poll. Decisive results all carry the same optimum,
           // so there is no race on the answer itself.
           stop.store(true, std::memory_order_release);
+          obs::traceInstant(cfg.opts.sat.trace, obs::TraceCat::kWorker,
+                            "portfolio-finish", "worker", w);
         }
         results[static_cast<std::size_t>(w)] = std::move(r);
       });

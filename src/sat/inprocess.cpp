@@ -140,6 +140,7 @@ bool Solver::inprocessNow() {
 
 bool Solver::inprocessPass() {
   assert(decisionLevel() == 0);
+  obs::TraceSpan passSpan(opts_.trace, obs::TraceCat::kInproc, "inprocess");
   inproc_pending_ = false;
   ++stats_.inproc_passes;
 

@@ -1107,6 +1107,8 @@ void Solver::importSharedClauses(int maxClauses) {
   if (!sharing() || !ok_) return;
   assert(decisionLevel() == 0);
   assert(qhead_ == static_cast<int>(trail_.size()));
+  obs::TraceSpan drainSpan(opts_.trace, obs::TraceCat::kShare,
+                           "import-drain");
   ++stats_.shared_import_drains;
   std::vector<Lit> ps;
   const int scanned = opts_.share->importClauses(
@@ -1166,6 +1168,8 @@ void Solver::importSharedClauses(int maxClauses) {
   },
       maxClauses);
   stats_.shared_import_scanned += scanned;
+  drainSpan.arg("scanned", scanned);
+  if (opts_.drain_size_hist != nullptr) opts_.drain_size_hist->observe(scanned);
   // Dynamic export ceilings: per full window of imported clauses, move
   // this worker's *export* filter one notch. A low attach rate means
   // the traffic it receives is mostly stale (everyone learns the same
@@ -1368,6 +1372,8 @@ lbool Solver::search(std::int64_t conflictsBeforeRestart) {
 }
 
 lbool Solver::solve(std::span<const Lit> assumptions) {
+  obs::TraceSpan solveSpan(opts_.trace, obs::TraceCat::kOracle, "solve");
+  const std::int64_t traceConflicts0 = stats_.conflicts;
   ++stats_.solves;
   model_.clear();
   core_.clear();
@@ -1470,7 +1476,13 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
               : std::pow(opts_.restart_inc, restarts);
       pace = static_cast<std::int64_t>(restartBase * opts_.restart_base);
     }
-    status = search(pace);
+    {
+      obs::TraceSpan restartSpan(opts_.trace, obs::TraceCat::kRestart,
+                                 "restart");
+      const std::int64_t segC0 = stats_.conflicts;
+      status = search(pace);
+      restartSpan.arg("conflicts", stats_.conflicts - segC0);
+    }
     ++stats_.restarts;
     max_learnts_ *= opts_.learntsize_inc;
   }
@@ -1488,6 +1500,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   if (!opts_.reuse_trail) cancelUntil(0);
   assumptions_.clear();
   stats_.mem_bytes = memBytesEstimate();
+  solveSpan.arg("conflicts", stats_.conflicts - traceConflicts0);
   return status;
 }
 

@@ -159,6 +159,8 @@
 #include <vector>
 
 #include "cnf/literal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sat/arena.h"
 #include "sat/budget.h"
 #include "sat/fault.h"
@@ -303,6 +305,23 @@ class Solver {
     bool share_dynamic = true;
     int share_dyn_min_size = 3;  ///< floor of the dynamic size ceiling
     int share_dyn_min_lbd = 2;   ///< floor of the dynamic LBD ceiling
+
+    /// Optional execution tracer (non-owning; must outlive the solver).
+    /// When set and enabled, the solver emits spans for solve() calls,
+    /// restart segments, inprocess passes and shared-clause import
+    /// drains into the per-thread rings (obs/trace.h). Off (nullptr)
+    /// by default — every instrumented seam then costs one pointer
+    /// test and search behaviour is bit-for-bit identical (tracing is
+    /// purely observational; see tests/obs_test.cpp gating test).
+    obs::Tracer* trace = nullptr;
+
+    /// Optional histogram receiving the size (clauses scanned) of each
+    /// shared-clause import drain (non-owning; must outlive the
+    /// solver). Wired by the SolveService from its metrics registry;
+    /// null = no observation. Drains run at restart boundaries or the
+    /// conflict cadence, so one relaxed-atomic observe per drain is
+    /// noise.
+    obs::Histogram* drain_size_hist = nullptr;
 
     /// Scope-aware inprocessing: at solve/restart boundaries (budgeted
     /// by propagations since the last pass), remove top-level-satisfied

@@ -104,6 +104,25 @@ struct JobStatus {
   /// e.g. the watchdog already fired but the solver has not unwound
   /// yet).
   AbortReason abort = AbortReason::kNone;
+
+  /// Live anytime progress. For a kRunning job these are sampled from
+  /// the job's ProgressSink (engines stream bound improvements and
+  /// per-oracle-call deltas into it while solving); once kDone they
+  /// come from the final MaxSatResult, which is at least as tight.
+  /// Both bound sequences are monotone across repeated poll()s of one
+  /// job — lower only rises, upper only falls — because the sink folds
+  /// racing writers in monotonically (see obs/progress.h).
+  Weight lowerBound = 0;
+  /// Only meaningful when hasUpperBound (an incumbent model exists).
+  Weight upperBound = 0;
+  bool hasUpperBound = false;
+
+  /// Work performed so far: CDCL conflicts, oracle solve() calls, and
+  /// the current solver memory estimate, summed over every oracle
+  /// session the job runs (portfolio/cube engines have several).
+  std::int64_t conflicts = 0;
+  std::int64_t satCalls = 0;
+  std::int64_t memBytes = 0;
 };
 
 }  // namespace msu

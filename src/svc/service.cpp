@@ -19,6 +19,8 @@
 #include <utility>
 
 #include "harness/factory.h"
+#include "harness/tables.h"
+#include "obs/progress.h"
 
 namespace msu {
 
@@ -50,6 +52,10 @@ struct SolveService::Job {
   Clock::time_point submit_time;
   Clock::time_point start_time;
 
+  /// Live anytime progress: engines stream into it while the job runs,
+  /// poll() reads it without the lock's help (all-atomic).
+  obs::ProgressSink progress;
+
   JobOutcome outcome;  ///< valid once state is kDone / kCancelled
 
   [[nodiscard]] AbortReason abortReason() const {
@@ -68,6 +74,22 @@ struct SolveService::Job {
 
 SolveService::SolveService(SolveServiceOptions opts) : opts_(std::move(opts)) {
   if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *opts_.metrics;
+    metrics_ = ServiceMetrics{
+        &reg.counter("msu_svc_jobs_submitted_total", "Jobs accepted"),
+        &reg.counter("msu_svc_jobs_shed_total", "Jobs shed (queue full)"),
+        &reg.counter("msu_svc_jobs_completed_total", "Jobs run to outcome"),
+        &reg.counter("msu_svc_jobs_cancelled_queued_total",
+                     "Jobs cancelled before running"),
+        &reg.gauge("msu_svc_queue_depth", "Jobs waiting for a worker"),
+        &reg.gauge("msu_svc_running_jobs", "Jobs currently solving"),
+        &reg.gauge("msu_svc_mem_bytes",
+                   "Solver memory across running jobs (bytes)"),
+        &reg.histogram("msu_svc_job_queue_us", "Job queue latency"),
+        &reg.histogram("msu_svc_job_solve_us", "Job solve latency"),
+    };
+  }
   // Fail fast on unknown engine names: building one engine up front is
   // cheap and turns a per-job nullptr surprise into a construction-time
   // error.
@@ -95,6 +117,7 @@ SolveService::Submission SolveService::submit(WcnfFormula formula,
   if (stopping_) return {SubmitStatus::kShutdown, kJobIdUndef};
   if (queue_.size() >= opts_.max_queue_depth) {
     ++counters_.shed;
+    if (metrics_) metrics_->shed->add(1);
     return {SubmitStatus::kOverloaded, kJobIdUndef};
   }
   auto job = std::make_shared<Job>();
@@ -106,6 +129,12 @@ SolveService::Submission SolveService::submit(WcnfFormula formula,
   jobs_.emplace(job->id, job);
   queue_.push_back(job);
   ++counters_.submitted;
+  if (metrics_) {
+    metrics_->submitted->add(1);
+    metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  obs::traceInstant(opts_.trace, obs::TraceCat::kJob, "job-submit", "job",
+                    static_cast<std::int64_t>(job->id));
   queue_cv_.notify_one();
   return {SubmitStatus::kAccepted, job->id};
 }
@@ -114,7 +143,32 @@ std::optional<JobStatus> SolveService::poll(JobId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
-  return JobStatus{it->second->state, it->second->abortReason()};
+  const Job& job = *it->second;
+  JobStatus st;
+  st.state = job.state;
+  st.abort = job.abortReason();
+  if (job.state == JobState::kDone) {
+    // The final result is authoritative (and at least as tight as the
+    // last sink report — engines publish en route, finish with the
+    // best).
+    const MaxSatResult& r = job.outcome.result;
+    st.lowerBound = r.lowerBound;
+    st.upperBound = r.upperBound;
+    st.hasUpperBound = true;
+    st.conflicts = r.satStats.conflicts;
+    st.satCalls = r.satCalls;
+    st.memBytes = r.satStats.mem_bytes;
+  } else {
+    const obs::ProgressSink& p = job.progress;
+    st.lowerBound = p.lower_bound.load(std::memory_order_relaxed);
+    const std::int64_t up = p.upper_bound.load(std::memory_order_relaxed);
+    st.hasUpperBound = up != obs::ProgressSink::kNoUpper;
+    if (st.hasUpperBound) st.upperBound = up;
+    st.conflicts = p.conflicts.load(std::memory_order_relaxed);
+    st.satCalls = p.sat_calls.load(std::memory_order_relaxed);
+    st.memBytes = p.mem_bytes.load(std::memory_order_relaxed);
+  }
+  return st;
 }
 
 bool SolveService::cancel(JobId id) {
@@ -131,11 +185,19 @@ bool SolveService::cancel(JobId id) {
       job->outcome.queue_seconds =
           secondsBetween(job->submit_time, Clock::now());
       ++counters_.cancelled_queued;
+      if (metrics_) {
+        metrics_->cancelled_queued->add(1);
+        metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+      }
+      obs::traceInstant(opts_.trace, obs::TraceCat::kJob, "job-cancel", "job",
+                        static_cast<std::int64_t>(id));
       done_cv_.notify_all();
       return true;
     }
     case JobState::kRunning:
       job->abortFromOutside(AbortReason::kCancelled);
+      obs::traceInstant(opts_.trace, obs::TraceCat::kJob, "job-cancel", "job",
+                        static_cast<std::int64_t>(id));
       return true;
     case JobState::kDone:
     case JobState::kCancelled:
@@ -221,6 +283,15 @@ void SolveService::workerLoop() {
     std::shared_ptr<Job> job = popBest();
     job->state = JobState::kRunning;
     job->start_time = Clock::now();
+    if (metrics_) {
+      metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (opts_.trace != nullptr && opts_.trace->enabled()) {
+      opts_.trace->span(obs::TraceCat::kJob, "job-queue",
+                        opts_.trace->timestampUs(job->submit_time),
+                        opts_.trace->timestampUs(job->start_time), "job",
+                        static_cast<std::int64_t>(job->id));
+    }
     if (job->limits.wall_seconds || opts_.default_max_job_seconds) {
       double limit = job->limits.wall_seconds
                          ? *job->limits.wall_seconds
@@ -233,6 +304,9 @@ void SolveService::workerLoop() {
                                 std::chrono::duration<double>(limit));
     }
     running_.push_back(job);
+    if (metrics_) {
+      metrics_->running->set(static_cast<std::int64_t>(running_.size()));
+    }
 
     lock.unlock();
     runJob(job);
@@ -246,6 +320,25 @@ void SolveService::workerLoop() {
         secondsBetween(job->start_time, Clock::now());
     job->state = JobState::kDone;
     ++counters_.completed;
+    if (opts_.trace != nullptr && opts_.trace->enabled()) {
+      opts_.trace->span(obs::TraceCat::kJob, "job-run",
+                        opts_.trace->timestampUs(job->start_time),
+                        opts_.trace->nowUs(), "job",
+                        static_cast<std::int64_t>(job->id));
+    }
+    if (metrics_) {
+      metrics_->completed->add(1);
+      metrics_->running->set(static_cast<std::int64_t>(running_.size()));
+      metrics_->queue_us->observe(
+          static_cast<std::int64_t>(job->outcome.queue_seconds * 1e6));
+      metrics_->solve_us->observe(
+          static_cast<std::int64_t>(job->outcome.solve_seconds * 1e6));
+      updateMemGauge();
+      // Mirror the job's final CDCL statistics into the registry's
+      // msu_solver_* counters — the same numbers the harness tables
+      // print, absorbed instead of duplicated.
+      exportStatsToMetrics(*opts_.metrics, job->outcome.result.satStats);
+    }
     done_cv_.notify_all();
   }
 }
@@ -269,6 +362,25 @@ void SolveService::runJob(const std::shared_ptr<Job>& job) {
   opts.budget.setInterrupt(&job->interrupt);
   opts.budget.setAbortSink(&job->abort);
   opts.sat.fault = job->limits.fault;
+
+  // Observability wiring — all observational, none of it steers the
+  // search: the progress sink receives per-oracle-call deltas, the
+  // onBounds wrapper feeds bound improvements into the sink (then
+  // chains to any caller-installed callback), and the tracer/registry
+  // fan through to the engine's solvers.
+  opts.progress = &job->progress;
+  obs::ProgressSink* const sink = &job->progress;
+  auto chained = opts.onBounds;
+  opts.onBounds = [sink, chained](Weight lower, Weight upper) {
+    sink->noteBounds(lower, upper);
+    if (chained) chained(lower, upper);
+  };
+  opts.sat.trace = opts_.trace;
+  if (opts_.metrics != nullptr) {
+    opts.metrics = opts_.metrics;
+    opts.sat.drain_size_hist = &opts_.metrics->histogram(
+        "msu_share_drain_scanned", "Clauses scanned per import drain");
+  }
 
   // A per-job engine override (validated at submit()) wins over the
   // service-wide default.
@@ -298,7 +410,19 @@ void SolveService::watchdogLoop() {
         job->abortFromOutside(AbortReason::kDeadline);
       }
     }
+    // Piggy-back the service-wide memory gauge on the watchdog cadence:
+    // it already scans running_ under the lock.
+    updateMemGauge();
   }
+}
+
+void SolveService::updateMemGauge() {
+  if (!metrics_) return;
+  std::int64_t total = 0;
+  for (const std::shared_ptr<Job>& job : running_) {
+    total += job->progress.mem_bytes.load(std::memory_order_relaxed);
+  }
+  metrics_->mem_bytes->set(total);
 }
 
 }  // namespace msu

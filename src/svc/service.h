@@ -61,6 +61,8 @@
 
 #include "cnf/wcnf.h"
 #include "core/maxsat.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/job.h"
 
 namespace msu {
@@ -89,6 +91,24 @@ struct SolveServiceOptions {
   /// the watchdog even for jobs submitted without a wall_seconds limit.
   /// Unset = no ceiling.
   std::optional<double> default_max_job_seconds;
+
+  /// Optional execution tracer (non-owning; must outlive the service).
+  /// When set, every job's solvers emit their spans into it and the
+  /// service adds the job lifecycle: a "submit" instant, a "queue"
+  /// span (submit→start), and a "run" span (start→finish), all keyed
+  /// by job id. Null = no tracing.
+  obs::Tracer* trace = nullptr;
+
+  /// Optional metrics registry (non-owning; must outlive the service).
+  /// When set, the service registers and maintains job counters
+  /// (submitted/shed/completed/cancelled), queue-depth and running
+  /// gauges, queue/solve latency histograms, the service-wide
+  /// `msu_svc_mem_bytes` gauge aggregated across running jobs
+  /// (observation only — shedding still triggers on queue depth), the
+  /// per-oracle-call latency and drain-size histograms, and mirrors
+  /// every completed job's SolverStats into `msu_solver_*_total`
+  /// counters (harness/tables exportStatsToMetrics). Null = no metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// See the file comment. All public members are thread-safe; the
@@ -153,15 +173,34 @@ class SolveService {
  private:
   struct Job;
 
+  /// Cached metric handles (registry lookups take a mutex; the handles
+  /// themselves are stable forever). Present iff opts_.metrics is set.
+  struct ServiceMetrics {
+    obs::Counter* submitted;
+    obs::Counter* shed;
+    obs::Counter* completed;
+    obs::Counter* cancelled_queued;
+    obs::Gauge* queue_depth;
+    obs::Gauge* running;
+    obs::Gauge* mem_bytes;
+    obs::Histogram* queue_us;
+    obs::Histogram* solve_us;
+  };
+
   void workerLoop();
   void watchdogLoop();
   void runJob(const std::shared_ptr<Job>& job);
+
+  /// Recomputes the service-wide memory gauge from the running jobs'
+  /// progress sinks. Pre: lock held. No-op without a registry.
+  void updateMemGauge();
 
   /// Pops the best queued job (priority desc, submission order asc).
   /// Pre: lock held, queue_ non-empty.
   std::shared_ptr<Job> popBest();
 
   SolveServiceOptions opts_;
+  std::optional<ServiceMetrics> metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;     ///< workers wait here

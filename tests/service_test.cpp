@@ -22,6 +22,7 @@
 #include "gen/pigeonhole.h"
 #include "gen/random_cnf.h"
 #include "harness/factory.h"
+#include "obs/metrics.h"
 #include "sat/budget.h"
 #include "sat/fault.h"
 #include "sat/solver.h"
@@ -364,6 +365,133 @@ TEST(SolveService, ConflictCapAbortsWithStructuredReason) {
   EXPECT_EQ(out.abort, AbortReason::kConflicts);
   // The cap is loose (per poll granularity) but must actually bind.
   EXPECT_LE(out.result.satStats.conflicts, 50 + 512);
+}
+
+// ---------------------------------------------------------------------
+// Live progress: poll() streams the running job's ProgressSink.
+
+TEST(SolveService, PollStreamsMonotonicallyTighteningBounds) {
+  SolveServiceOptions so;
+  so.engine = "linear";  // model-improving: incumbents appear early
+  SolveService service(so);
+  const WcnfFormula w = anytimeInstance();
+  JobLimits limits;
+  limits.wall_seconds = 0.4;
+  const auto sub = service.submit(w, limits);
+  ASSERT_EQ(sub.status, SolveService::SubmitStatus::kAccepted);
+
+  // Sample the live status until the job finishes. The poll() contract:
+  // bounds only tighten (lower rises, upper falls), work counters only
+  // grow, and an upper bound never un-publishes.
+  Weight lastLower = 0;
+  Weight lastUpper = 0;
+  bool sawUpper = false;
+  bool sawRunningUpper = false;
+  std::int64_t lastConflicts = 0;
+  std::int64_t lastCalls = 0;
+  while (true) {
+    const auto st = service.poll(sub.id);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_GE(st->lowerBound, lastLower);
+    lastLower = st->lowerBound;
+    if (sawUpper) {
+      ASSERT_TRUE(st->hasUpperBound);
+      EXPECT_LE(st->upperBound, lastUpper);
+    }
+    if (st->hasUpperBound) {
+      sawUpper = true;
+      lastUpper = st->upperBound;
+      EXPECT_LE(st->lowerBound, st->upperBound);
+      if (st->state == JobState::kRunning) sawRunningUpper = true;
+    }
+    EXPECT_GE(st->conflicts, lastConflicts);
+    EXPECT_GE(st->satCalls, lastCalls);
+    lastConflicts = st->conflicts;
+    lastCalls = st->satCalls;
+    if (st->state == JobState::kDone) break;
+    std::this_thread::yield();
+  }
+
+  // The anytime instance guarantees an incumbent long before the
+  // deadline, so the live stream (not just the final result) must have
+  // published an upper bound.
+  EXPECT_TRUE(sawRunningUpper);
+  EXPECT_GT(lastCalls, 0);
+
+  const JobOutcome out = service.await(sub.id);
+  ASSERT_EQ(out.result.status, MaxSatStatus::Unknown);
+  EXPECT_EQ(out.abort, AbortReason::kDeadline);
+  // The final status is the result's bounds — at least as tight as any
+  // live sample.
+  EXPECT_EQ(out.result.lowerBound, lastLower);
+  EXPECT_EQ(out.result.upperBound, lastUpper);
+}
+
+// ---------------------------------------------------------------------
+// Service metrics: registry counters/gauges/histograms after jobs, and
+// the service-wide memory gauge fed by the running jobs' sinks.
+
+TEST(SolveService, MetricsRegistryReflectsCompletedJobs) {
+  obs::MetricsRegistry registry;
+  SolveServiceOptions so;
+  so.workers = 1;
+  so.metrics = &registry;
+  SolveService service(so);
+
+  const WcnfFormula w =
+      WcnfFormula::allSoft(randomUnsat3Sat(16, 5.0, 3));
+  const auto a = service.submit(w);
+  const auto b = service.submit(w);
+  ASSERT_EQ(service.await(a.id).result.status, MaxSatStatus::Optimum);
+  ASSERT_EQ(service.await(b.id).result.status, MaxSatStatus::Optimum);
+
+  EXPECT_EQ(registry.counter("msu_svc_jobs_submitted_total").value(), 2);
+  EXPECT_EQ(registry.counter("msu_svc_jobs_completed_total").value(), 2);
+  EXPECT_EQ(registry.counter("msu_svc_jobs_shed_total").value(), 0);
+  EXPECT_EQ(registry.gauge("msu_svc_queue_depth").value(), 0);
+  EXPECT_EQ(registry.gauge("msu_svc_running_jobs").value(), 0);
+  EXPECT_EQ(registry.gauge("msu_svc_mem_bytes").value(), 0);  // none running
+  EXPECT_EQ(registry.histogram("msu_svc_job_queue_us").count(), 2);
+  EXPECT_EQ(registry.histogram("msu_svc_job_solve_us").count(), 2);
+  // Oracle-call latency flows in from the engines' OracleSessions, and
+  // the absorbed SolverStats counters land under msu_solver_*.
+  EXPECT_GT(registry.histogram("msu_oracle_solve_us").count(), 0);
+  EXPECT_GT(registry.counter("msu_solver_conflicts_total").value(), 0);
+  EXPECT_GT(registry.counter("msu_solver_solves_total").value(), 0);
+}
+
+TEST(SolveService, MemGaugeAggregatesRunningJobs) {
+  obs::MetricsRegistry registry;
+  SolveServiceOptions so;
+  so.metrics = &registry;
+  so.watchdog_period_s = 0.002;  // the gauge updates on watchdog scans
+  SolveService service(so);
+
+  const auto sub = service.submit(slowInstance());
+  ASSERT_EQ(sub.status, SolveService::SubmitStatus::kAccepted);
+  waitUntilRunning(service, sub.id);
+
+  // The running job's session reports memory through its sink; both the
+  // per-job poll() view and the aggregated service gauge must pick a
+  // positive figure up within a few watchdog periods.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool sawJobMem = false;
+  bool sawGauge = false;
+  while ((!sawJobMem || !sawGauge) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const auto st = service.poll(sub.id);
+    ASSERT_TRUE(st.has_value());
+    ASSERT_NE(st->state, JobState::kDone);  // php-9/8 outlives this loop
+    if (st->memBytes > 0) sawJobMem = true;
+    if (registry.gauge("msu_svc_mem_bytes").value() > 0) sawGauge = true;
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(sawJobMem);
+  EXPECT_TRUE(sawGauge);
+
+  ASSERT_TRUE(service.cancel(sub.id));
+  static_cast<void>(service.await(sub.id));
 }
 
 // ---------------------------------------------------------------------
