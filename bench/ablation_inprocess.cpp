@@ -1,16 +1,22 @@
 /// \file ablation_inprocess.cpp
 /// \brief Inprocessing ablation: does keeping the incremental oracle's
-///        clause database irredundant between solve calls pay for
-///        itself on the MaxSAT engines' workloads?
+///        clause database irredundant — and, since round two, shrinking
+///        its variable set — between solve calls pay for itself on the
+///        MaxSAT engines' workloads?
 ///
-/// Runs msu4-v2 over the mixed suite with inprocessing off, on at the
-/// default interval, and on at more/less aggressive intervals, and
-/// reports solved counts, wall time and the inproc_* counters — the
-/// decision record for Options::inprocess and its interval lives in
+/// Runs msu4-v2 over the mixed suite as paired A/B cases in the format
+/// check_regression.py --mode ab gates: `all/off` vs `all/on` measures
+/// the whole subsystem, and each per-pass case (`subsume`, `vivify`,
+/// `bve`, `scc`, `probe`) measures one pass's marginal value — its
+/// `/off` leg is the full configuration with exactly that pass
+/// disabled, its `/on` leg the full configuration. Records deliberately
+/// carry no `sat_calls` counter, so the gate compares raw wall time
+/// (the two legs solve identical instances end to end). The decision
+/// record for Options::inprocess and the per-pass defaults lives in
 /// bench/README.md and points here.
 ///
-/// Usage: ablation_inprocess [timeout_seconds] [size_scale] [per_family]
-///                           [--json [path]]
+/// Usage: ablation_inprocess [--timeout S] [--size-scale X]
+///                           [--per-family N] [--reps N] [--json [path]]
 
 #include <chrono>
 #include <cstdlib>
@@ -26,7 +32,7 @@
 namespace {
 
 struct Variant {
-  std::string name;
+  std::string name;  ///< A/B record name, e.g. "bve/off"
   msu::Solver::Options sat;
 };
 
@@ -35,104 +41,140 @@ struct Variant {
 int main(int argc, char** argv) {
   using namespace msu;
 
+  double timeout = 1.0;
+  SuiteParams sp;
+  sp.sizeScale = 0.5;
+  sp.perFamily = 4;
+  int reps = 3;
   bool json = false;
   std::string jsonPath = "BENCH_ablation_inprocess.json";
-  std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--timeout") {
+      timeout = std::atof(value());
+    } else if (arg == "--size-scale") {
+      sp.sizeScale = std::atof(value());
+    } else if (arg == "--per-family") {
+      sp.perFamily = std::atoi(value());
+    } else if (arg == "--reps") {
+      reps = std::atoi(value());
+    } else if (arg == "--json") {
       json = true;
       if (i + 1 < argc && std::string(argv[i + 1]).ends_with(".json")) {
         jsonPath = argv[++i];
       }
     } else {
-      positional.push_back(arg);
+      std::cerr << "unknown argument: " << arg << '\n';
+      std::cerr << "usage: ablation_inprocess [--timeout S] [--size-scale X]"
+                   " [--per-family N] [--reps N] [--json [path]]\n";
+      return 2;
     }
   }
+  if (reps < 1) reps = 1;
 
-  const double timeout =
-      positional.size() > 0 ? std::atof(positional[0].c_str()) : 1.0;
-  SuiteParams sp;
-  sp.sizeScale =
-      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.5;
-  sp.perFamily = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 6;
   const std::vector<Instance> suite = buildMixedSuite(sp);
 
+  // The full round-two configuration every `/on` leg runs.
+  Solver::Options on;
+  on.inprocess = true;
+
   std::vector<Variant> variants;
-  variants.push_back({"inprocess-off", {}});
-  variants.back().sat.inprocess = false;
+  const auto addCase = [&variants, &on](const std::string& name,
+                                        const Solver::Options& off) {
+    variants.push_back({name + "/off", off});
+    variants.push_back({name + "/on", on});
+  };
+  addCase("all", {});  // whole subsystem: off leg never runs a pass
   {
-    Variant v{"inprocess-default", {}};
-    v.sat.inprocess = true;
-    variants.push_back(v);
+    Solver::Options o = on;
+    o.inprocess_occ_limit = 0;  // subsumption/strengthening stage
+    addCase("subsume", o);
   }
   {
-    Variant v{"inprocess-eager", {}};
-    v.sat.inprocess = true;
-    v.sat.inprocess_interval = 50'000;
-    variants.push_back(v);
+    Solver::Options o = on;
+    o.inprocess_viv_props = 0;
+    addCase("vivify", o);
   }
   {
-    Variant v{"inprocess-lazy", {}};
-    v.sat.inprocess = true;
-    v.sat.inprocess_interval = 2'000'000;
-    variants.push_back(v);
+    Solver::Options o = on;
+    o.inprocess_bve_occ_limit = 0;
+    addCase("bve", o);
   }
   {
-    Variant v{"subsume-only", {}};
-    v.sat.inprocess = true;
-    v.sat.inprocess_viv_props = 0;
-    variants.push_back(v);
+    Solver::Options o = on;
+    o.inprocess_scc = false;
+    addCase("scc", o);
   }
   {
-    Variant v{"viv-only", {}};
-    v.sat.inprocess = true;
-    v.sat.inprocess_occ_limit = 0;  // subsumption stage disabled
-    variants.push_back(v);
+    Solver::Options o = on;
+    o.inprocess_probe_props = 0;
+    addCase("probe", o);
   }
 
   std::cout << "Inprocessing ablation under msu4-v2, " << suite.size()
-            << " instances, timeout " << timeout << " s\n\n";
-  std::cout << std::left << std::setw(20) << "variant" << std::right
+            << " instances, timeout " << timeout << " s, best of " << reps
+            << " rep(s)\n\n";
+  std::cout << std::left << std::setw(14) << "case" << std::right
             << std::setw(9) << "aborted" << std::setw(9) << "solved"
             << std::setw(9) << "passes" << std::setw(10) << "subsumed"
-            << std::setw(10) << "strength" << std::setw(10) << "vivified"
-            << std::setw(12) << "total t[s]" << '\n';
+            << std::setw(9) << "elim" << std::setw(9) << "subst"
+            << std::setw(9) << "hbr" << std::setw(12) << "best t[s]" << '\n';
 
   std::vector<benchjson::BenchRecord> records;
   for (const Variant& v : variants) {
+    double best = 0.0;
+    SolverStats agg;
     int aborted = 0;
     int solved = 0;
-    SolverStats agg;
-    double total = 0.0;
-    for (const Instance& inst : suite) {
-      MaxSatOptions o;
-      o.sat = v.sat;
-      o.budget = Budget::wallClock(timeout);
-      Msu4Solver solver(o);
-      const auto t0 = std::chrono::steady_clock::now();
-      const MaxSatResult r = solver.solve(inst.wcnf);
-      total += std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - t0)
-                   .count();
-      agg += r.satStats;
-      if (r.status == MaxSatStatus::Unknown) {
-        ++aborted;
-      } else {
-        ++solved;
+    for (int rep = 0; rep < reps; ++rep) {
+      SolverStats repAgg;
+      int repAborted = 0;
+      int repSolved = 0;
+      double total = 0.0;
+      for (const Instance& inst : suite) {
+        MaxSatOptions o;
+        o.sat = v.sat;
+        o.budget = Budget::wallClock(timeout);
+        Msu4Solver solver(o);
+        const auto t0 = std::chrono::steady_clock::now();
+        const MaxSatResult r = solver.solve(inst.wcnf);
+        total += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        repAgg += r.satStats;
+        if (r.status == MaxSatStatus::Unknown) {
+          ++repAborted;
+        } else {
+          ++repSolved;
+        }
+      }
+      if (rep == 0 || total < best) {
+        best = total;
+        agg = repAgg;
+        aborted = repAborted;
+        solved = repSolved;
       }
     }
-    std::cout << std::left << std::setw(20) << v.name << std::right
+    std::cout << std::left << std::setw(14) << v.name << std::right
               << std::setw(9) << aborted << std::setw(9) << solved
               << std::setw(9) << agg.inproc_passes << std::setw(10)
-              << agg.inproc_subsumed << std::setw(10)
-              << agg.inproc_strengthened << std::setw(10)
-              << agg.inproc_vivified << std::setw(12) << std::fixed
-              << std::setprecision(2) << total << '\n';
+              << agg.inproc_subsumed << std::setw(9)
+              << agg.inproc_bve_eliminated << std::setw(9)
+              << agg.inproc_scc_vars << std::setw(9) << agg.inproc_probe_hbr
+              << std::setw(12) << std::fixed << std::setprecision(2) << best
+              << '\n';
 
     benchjson::BenchRecord rec;
     rec.name = v.name;
-    rec.wallMs = total * 1e3;
+    rec.wallMs = best * 1e3;
+    rec.reps = reps;
     rec.counters = {{"aborted", aborted}, {"solved", solved}};
     agg.forEachField([&rec](const char* name, std::int64_t value) {
       rec.counters.emplace_back(name, value);

@@ -17,6 +17,19 @@
 /// re-encode supersedes them. `MaxSatResult::satStats` surfaces the
 /// lifecycle counters (retired scopes/clauses, reclaimed bytes,
 /// recycled variables) alongside the propagation-core counters.
+///
+/// ## Reconstruction contract (inprocessing round two)
+///
+/// With Solver::Options::inprocess, the oracle may eliminate or
+/// substitute auxiliary variables mid-search; the solver replays its
+/// witness stack over every satisfying assignment before publishing
+/// it, so `MaxSatResult::model` is always a total assignment over the
+/// original variables and engines never observe removal. Soft-clause
+/// selectors are frozen and encoding variables are scope-owned, so
+/// neither is ever removed: cores keep naming the selectors engines
+/// track, and scope retirement never invalidates a witness. The full
+/// contract — who may be removed, what restores a variable, what
+/// disables removal — lives in src/sat/solver.h.
 
 #pragma once
 

@@ -9,22 +9,40 @@
 /// than they need to be — and every later propagation pays for them.
 /// A pass runs at solve/restart boundaries, budgeted by propagations
 /// since the last pass (a retirement notification forces one), and has
-/// three stages, each at decision level 0:
+/// six stages, each at decision level 0:
 ///
 ///  1. *Propagate + strip.* Remove top-level-satisfied clauses and
 ///     strip level-0-false literals from the survivors.
-///  2. *Backward subsumption + self-subsuming strengthening.* One
+///  2. *Failed-literal probing + hyper-binary resolution*
+///     (probing.cpp). Assume a root of the binary implication graph,
+///     propagate: a conflict proves a root unit, and long-clause
+///     implications become learnt binaries. Propagation-budgeted,
+///     round-robin across passes.
+///  3. *Equivalent-literal substitution* (scc.cpp). Literals in one
+///     SCC of the binary implication graph are equivalent; every
+///     member is rewritten to a representative, shrinking the variable
+///     set for all later stages.
+///  4. *Backward subsumption + self-subsuming strengthening.* One
 ///     occurrence-list sweep in SatELite/MiniSat style: a clause C
 ///     deletes every clause it subsumes and removes `~l` from every
 ///     clause D with C \ {l} ⊆ D (one flipped literal allowed in the
 ///     subset check). Binary clauses participate as subsumers; a learnt
 ///     subsumer of an original clause is first promoted to original so
 ///     reduceDB cannot delete the only witness of the constraint.
-///  3. *Learnt-clause vivification.* For each learnt clause (round-
+///  5. *Bounded variable elimination* (elimination.cpp). SatELite-
+///     style DP resolution of cheap variables, after subsumption so
+///     the occurrence/resolvent bounds see a deduplicated database.
+///  6. *Learnt-clause vivification.* For each learnt clause (round-
 ///     robin across passes under a propagation budget), assume the
 ///     negation of its literals one at a time and propagate: a conflict
 ///     or an implied literal proves a subset of the clause, which
 ///     replaces it.
+///
+/// Stages 3 and 5 remove variables from the search; the witness stack
+/// they push (sat/reconstruct.h) and the rules that keep removal sound
+/// across the incremental API are the "reconstruction contract" in
+/// solver.h. Both are disabled while a ProofTracer is attached;
+/// probing's derivations are ordinary RUP lemmas and stay on.
 ///
 /// ## Scope-awareness (why this is sound under retirement)
 ///
@@ -144,8 +162,14 @@ bool Solver::inprocessPass() {
   inproc_pending_ = false;
   ++stats_.inproc_passes;
 
-  const bool passOk =
-      inprocPropagateAndStrip() && inprocSubsume() && inprocVivify();
+  // Stage order: probing first (its units feed everything after), then
+  // substitution (a smaller variable set makes every later stage
+  // cheaper), subsumption over the rewritten database, elimination
+  // (which wants the database already deduplicated so the resolvent
+  // bound is meaningful), and vivification last over what remains.
+  const bool passOk = inprocPropagateAndStrip() && inprocProbe() &&
+                      inprocSubstitute() && inprocSubsume() &&
+                      inprocEliminate() && inprocVivify();
 
   // Drop refs of clauses the pass deleted; the stages only mark them.
   const auto dropDeleted = [&](std::vector<CRef>& refs) {

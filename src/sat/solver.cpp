@@ -53,6 +53,8 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     seen_[v] = 0;
     frozen_[v] = 0;
     var_owner_[v] = kUndefVar;
+    eliminated_[v] = 0;
+    repr_[v] = posLit(v);
     decision_[v] = decisionVar ? 1 : 0;
     if (order_heap_.contains(v)) {
       order_heap_.update(v);  // activity changed: restore heap order
@@ -71,6 +73,8 @@ Var Solver::newVar(bool decisionVar, bool scoped) {
     activity_.push_back(0.0);
     seen_.push_back(0);
     frozen_.push_back(0);
+    eliminated_.push_back(0);
+    repr_.push_back(posLit(v));
     is_activator_.push_back(0);
     scope_index_.push_back(-1);
     var_owner_.push_back(kUndefVar);
@@ -156,6 +160,11 @@ void Solver::retireAll(std::span<const Lit> activators) {
     scopes_.pop_back();
   }
   if (!any) return;
+
+  // Reconstruction contract: BVE/substitution never touch scope or
+  // activator variables, so the witness stack cannot dangle across
+  // retirement and variable recycling (see solver.h).
+  assert(!witness_.referencesAny(marked));
 
   // A level-0 assigned scope variable (an activator refuted by the rest
   // of the database) stays assigned and is burned rather than recycled;
@@ -305,12 +314,17 @@ bool Solver::addClause(std::span<const Lit> lits) {
   if (opts_.check_cross_scope) checkCrossScopeRefs(lits);
   traceAxiom(lits);
 
+  std::vector<Lit> ps(lits.begin(), lits.end());
+  // A clause naming removed variables is legal: substituted literals
+  // are rewritten to their representatives and eliminated variables
+  // transparently restored (reconstruction contract, solver.h).
+  if (has_removed_vars_ && !mapAndRestore(ps)) return false;
+
   // Sort and simplify against the level-0 assignment. Over a warm
   // reused trail only *root-fixed* literals qualify (rootValue ==
   // value at level 0, so the cold path is unchanged): a literal true
   // merely under the kept assumptions does not satisfy the clause
   // permanently.
-  std::vector<Lit> ps(lits.begin(), lits.end());
   std::sort(ps.begin(), ps.end());
   Lit prev = kUndefLit;
   std::size_t j = 0;
@@ -1116,15 +1130,40 @@ void Solver::importSharedClauses(int maxClauses) {
     if (!ok_) return;
     ps.clear();
     bool satisfied = false;
-    for (const Lit p : lits) {
-      assert(p.var() < opts_.share_num_vars &&
+    for (const Lit raw : lits) {
+      assert(raw.var() < opts_.share_num_vars &&
              opts_.share_num_vars <= numVars());
+      // Under sharing, BVE never touches prefix variables and SCC
+      // substitutes them only among themselves (prefix equivalences
+      // are consequences of the shared hard clauses), so mapping an
+      // import through the representatives is sound and never needs a
+      // restoration.
+      const Lit p = has_removed_vars_ ? reprLit(raw) : raw;
+      assert(eliminated_[p.var()] == 0);
       const lbool v = value(p);
       if (v == lbool::True) {
         satisfied = true;
         break;
       }
       if (v == lbool::Undef) ps.push_back(p);
+    }
+    // Mapping can fold two import literals onto one variable: dedupe
+    // and drop the clause entirely when it became tautological.
+    if (!satisfied && has_removed_vars_ && ps.size() > 1) {
+      std::sort(ps.begin(), ps.end());
+      Lit prev = kUndefLit;
+      std::size_t j = 0;
+      for (const Lit p : ps) {
+        if (prev != kUndefLit && p == ~prev) {
+          satisfied = true;
+          break;
+        }
+        if (p != prev) {
+          ps[j++] = p;
+          prev = p;
+        }
+      }
+      ps.resize(j);
     }
     if (satisfied) {
       ++stats_.shared_import_drops;
@@ -1216,9 +1255,11 @@ std::int64_t Solver::memBytesEstimate() const {
       // vardata, polarity/decision/seen/best_phase
       sizeof(double) +                                 // activity
       3 * sizeof(char) +                               // activator/frozen/…
+      sizeof(char) + sizeof(Lit) +                     // eliminated/repr
       sizeof(int) + sizeof(Var) + sizeof(std::uint32_t) +  // scope maps
       2 * sizeof(double);  // order-heap entry + index (amortized)
   b += static_cast<std::int64_t>(numVars()) * kPerVarBytes;
+  b += witness_.bytes();
   // Bookkeeping proportional to the database.
   b += static_cast<std::int64_t>(trail_.capacity()) * sizeof(Lit);
   b += static_cast<std::int64_t>(clauses_.capacity() + learnts_.capacity()) *
@@ -1387,6 +1428,31 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   }
   if (pollAborted() || !withinBudget()) return lbool::Undef;
 
+  // Assumptions over removed variables: substituted literals are
+  // rewritten to their representatives and eliminated variables are
+  // restored (they must be assignable again for the assumption to
+  // constrain anything). The original literals are kept so core() can
+  // be translated back (remapCore). Activators are never removed, so
+  // the automatic scope assumptions below need no mapping.
+  assumps_mapped_ = false;
+  if (has_removed_vars_) {
+    bool touched = false;
+    for (const Lit p : assumptions_) {
+      if (varRemoved(p.var())) {
+        touched = true;
+        break;
+      }
+    }
+    if (touched) {
+      user_assumps_orig_ = assumptions_;
+      if (!mapAndRestore(assumptions_)) {
+        assumptions_.clear();
+        return lbool::False;
+      }
+      assumps_mapped_ = true;
+    }
+  }
+
   // Every live encoding scope is decided up front: its activator when
   // enforced, the negation when disabled. This is what keeps physical
   // retirement sound — scope clauses can never propagate their own
@@ -1490,9 +1556,18 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   if (status == lbool::True) {
     model_.resize(static_cast<std::size_t>(numVars()));
     for (Var v = 0; v < numVars(); ++v) model_[v] = assigns_[v];
-  } else if (status == lbool::False && core_.empty()) {
-    // Unsatisfiable independently of the assumptions.
-    ok_ = false;
+    // Extend the assignment over eliminated/substituted variables so
+    // callers never observe removal (reconstruction contract).
+    if (has_removed_vars_) reconstructModel();
+  } else if (status == lbool::False) {
+    if (core_.empty()) {
+      // Unsatisfiable independently of the assumptions.
+      ok_ = false;
+    } else if (assumps_mapped_) {
+      // Translate representatives back to the assumptions the caller
+      // actually passed.
+      remapCore();
+    }
   }
 
   // Warm-started solvers keep the trail for the next call; everyone

@@ -30,13 +30,28 @@ Solver::Options inprocOpts() {
   return o;
 }
 
+/// Round-one passes only (strip/subsume/vivify). The targeted units
+/// below assert exact clause counts and per-stage counters; the
+/// round-two variable-removing passes (BVE, equivalent-literal
+/// substitution, probing) would eliminate these tiny formulas outright
+/// and void the assertions. Round two has its own targeted tests in
+/// elimination_test.cpp / probing_test.cpp / reconstruction_test.cpp,
+/// and the fuzz tests in this file keep every pass enabled.
+Solver::Options roundOneOpts() {
+  Solver::Options o = inprocOpts();
+  o.inprocess_bve_occ_limit = 0;
+  o.inprocess_scc = false;
+  o.inprocess_probe_props = 0;
+  return o;
+}
+
 /// Solver with `n` fresh unscoped variables.
 void addVars(Solver& s, int n) {
   while (s.numVars() < n) static_cast<void>(s.newVar());
 }
 
 TEST(Inprocess, SubsumptionRemovesDuplicatesAndSupersets) {
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   addVars(s, 5);
   const Lit a = posLit(0);
   const Lit b = posLit(1);
@@ -55,7 +70,7 @@ TEST(Inprocess, SubsumptionRemovesDuplicatesAndSupersets) {
 }
 
 TEST(Inprocess, BinarySubsumerDeletesAndStrengthens) {
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   addVars(s, 4);
   const Lit a = posLit(0);
   const Lit b = posLit(1);
@@ -75,7 +90,7 @@ TEST(Inprocess, BinarySubsumerDeletesAndStrengthens) {
 }
 
 TEST(Inprocess, SelfSubsumingResolutionOnLongClauses) {
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   addVars(s, 5);
   const Lit a = posLit(0);
   const Lit b = posLit(1);
@@ -93,7 +108,7 @@ TEST(Inprocess, SelfSubsumingResolutionOnLongClauses) {
 }
 
 TEST(Inprocess, TopLevelSatisfiedRemovalAndFalseLiteralStripping) {
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   addVars(s, 5);
   const Lit a = posLit(0);
   const Lit b = posLit(1);
@@ -118,7 +133,7 @@ TEST(Inprocess, VivificationShortensALearntClause) {
   // conflict, and first-UIP analysis resolves both away. Each parent
   // keeps a private literal (p, q, ~p), so the learnt subsumes none of
   // them and survives the subsumption stage as a learnt clause.
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   addVars(s, 6);
   const Lit a = posLit(0);
   const Lit b = posLit(1);
@@ -148,7 +163,7 @@ TEST(Inprocess, VivificationShortensALearntClause) {
 }
 
 TEST(Inprocess, StrengthenedScopeClauseKeepsItsTagThroughRetirement) {
-  Solver s(inprocOpts());
+  Solver s(roundOneOpts());
   SolverSink sink(s);
   addVars(s, 4);
   const Lit x0 = posLit(0);
