@@ -16,6 +16,11 @@
 ///                       work-stealing queue (ignores --algo; also
 ///                       reachable as --algo cubesN)
 ///     --timeout SECONDS wall-clock budget (default: none)
+///     --mem-mb N        cooperative memory cap in MiB: the solver
+///                       tracks its own clause-storage footprint
+///                       (SolverStats::mem_bytes) and aborts with a
+///                       structured "memory" reason instead of letting
+///                       the process OOM (default: none)
 ///     --inprocess       enable in-solver inprocessing between oracle
 ///                       calls (Solver::Options::inprocess)
 ///     --reuse-trail / --no-reuse-trail
@@ -38,6 +43,7 @@
 ///     --no-model        suppress the v line
 ///     --list            list available engines
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -56,7 +62,7 @@ namespace {
 void usage() {
   std::cout <<
       "usage: maxsat_cli [--algo NAME] [--threads N] [--cubes N]\n"
-      "                  [--timeout SEC]\n"
+      "                  [--timeout SEC] [--mem-mb N]\n"
       "                  [--inprocess] [--reuse-trail|--no-reuse-trail]\n"
       "                  [--restart luby|geom|ema] [--stats]\n"
       "                  [--trace FILE] [--preprocess] [--no-model]\n"
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int cubes = 0;
   double timeout = 0.0;
+  double memMb = 0.0;
   bool inprocess = false;
   bool reuseTrail = Solver::Options{}.reuse_trail;
   std::string restart = "luby";
@@ -99,6 +106,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--timeout" && i + 1 < argc) {
       timeout = std::atof(argv[++i]);
+    } else if (arg == "--mem-mb" && i + 1 < argc) {
+      memMb = std::atof(argv[++i]);
+      if (memMb <= 0.0) {
+        std::cerr << "c --mem-mb wants a positive cap\n";
+        return 2;
+      }
     } else if (arg == "--inprocess") {
       inprocess = true;
     } else if (arg == "--reuse-trail") {
@@ -168,6 +181,13 @@ int main(int argc, char** argv) {
 
   MaxSatOptions opts;
   if (timeout > 0.0) opts.budget = Budget::wallClock(timeout);
+  if (memMb > 0.0) {
+    opts.budget.setMaxMemory(static_cast<std::int64_t>(memMb * 1024 * 1024));
+  }
+  // Shared across every Budget copy the engines make: lets the c-line
+  // below name the limit that actually stopped an Unknown run.
+  std::atomic<int> abortSink{static_cast<int>(AbortReason::kNone)};
+  opts.budget.setAbortSink(&abortSink);
   obs::Tracer tracer;
   if (!tracePath.empty()) {
     tracer.setEnabled(true);
@@ -258,11 +278,16 @@ int main(int argc, char** argv) {
     case MaxSatStatus::UnsatisfiableHard:
       std::cout << "s UNSATISFIABLE\n";
       break;
-    case MaxSatStatus::Unknown:
+    case MaxSatStatus::Unknown: {
+      const auto reason = static_cast<AbortReason>(abortSink.load());
+      if (reason != AbortReason::kNone) {
+        std::cout << "c abort: " << toString(reason) << "\n";
+      }
       std::cout << "c bounds: " << result.lowerBound << " <= cost <= "
                 << result.upperBound << "\n";
       std::cout << "s UNKNOWN\n";
       break;
+    }
   }
 
   if (stats) {

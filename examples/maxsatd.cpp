@@ -10,6 +10,10 @@
 ///     --engine NAME        engine for every job (default msu4-v2)
 ///     --queue-depth N      shed load beyond N queued jobs (default 64)
 ///     --max-job-seconds S  service-wide watchdog ceiling per job
+///     --max-mem-mb N       service-wide memory ceiling in MiB:
+///                          submit() sheds jobs (kOverloaded) whose
+///                          formula estimate would push the aggregate
+///                          running+queued footprint past the ceiling
 ///     --metrics-every S    every S seconds, print a live progress line
 ///                          per running job (anytime bounds, conflicts,
 ///                          memory — the poll() snapshot) plus the
@@ -81,7 +85,8 @@ void usage() {
   std::cout << "usage: example_maxsatd [--workers N] [--engine NAME]\n"
                "                       [--queue-depth N] "
                "[--max-job-seconds S]\n"
-               "                       [--metrics-every S] jobs.txt\n";
+               "                       [--max-mem-mb N] "
+               "[--metrics-every S] jobs.txt\n";
 }
 
 }  // namespace
@@ -104,6 +109,9 @@ int main(int argc, char** argv) {
       svcOpts.max_queue_depth = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--max-job-seconds" && i + 1 < argc) {
       svcOpts.default_max_job_seconds = std::atof(argv[++i]);
+    } else if (arg == "--max-mem-mb" && i + 1 < argc) {
+      svcOpts.max_service_mem_bytes =
+          static_cast<std::int64_t>(std::atof(argv[++i]) * 1024 * 1024);
     } else if (arg == "--metrics-every" && i + 1 < argc) {
       metricsEvery = std::atof(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {

@@ -1,15 +1,18 @@
 #include "cnf/dimacs.h"
 
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "cnf/fastparse.h"
+
 namespace msu {
 namespace {
 
-/// Tokenizing cursor over a DIMACS stream: skips comments and blank lines.
+/// Legacy tokenizing cursor over a DIMACS stream: skips comments and
+/// blank lines. Kept (with its documented leading-'c' quirk) only to
+/// back the *Legacy readers; the live path is fastparse.h.
 class Tokens {
  public:
   explicit Tokens(std::istream& in) : in_(in) {}
@@ -114,7 +117,7 @@ bool readClauseBody(Tokens& toks, int maxVar, Clause& out,
 
 }  // namespace
 
-CnfFormula readDimacsCnf(std::istream& in) {
+CnfFormula readDimacsCnfLegacy(std::istream& in) {
   Header h = readHeader(in);
   if (h.format != "cnf") throw DimacsError("expected cnf, got " + h.format);
   CnfFormula cnf(h.vars);
@@ -129,7 +132,7 @@ CnfFormula readDimacsCnf(std::istream& in) {
   return cnf;
 }
 
-WcnfFormula readDimacsWcnf(std::istream& in) {
+WcnfFormula readDimacsWcnfLegacy(std::istream& in) {
   Header h = readHeader(in);
   Tokens toks(in);
   Clause c;
@@ -162,26 +165,28 @@ WcnfFormula readDimacsWcnf(std::istream& in) {
   return out;
 }
 
+CnfFormula readDimacsCnf(std::istream& in) {
+  return fastParseDimacsCnf(InputBuffer::fromStream(in));
+}
+
+WcnfFormula readDimacsWcnf(std::istream& in) {
+  return fastParseDimacsWcnf(InputBuffer::fromStream(in));
+}
+
 CnfFormula parseDimacsCnf(const std::string& text) {
-  std::istringstream in(text);
-  return readDimacsCnf(in);
+  return fastParseDimacsCnf(InputBuffer::borrow(text.data(), text.size()));
 }
 
 WcnfFormula parseDimacsWcnf(const std::string& text) {
-  std::istringstream in(text);
-  return readDimacsWcnf(in);
+  return fastParseDimacsWcnf(InputBuffer::borrow(text.data(), text.size()));
 }
 
 CnfFormula loadDimacsCnf(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw DimacsError("cannot open file: " + path);
-  return readDimacsCnf(in);
+  return fastParseDimacsCnf(InputBuffer::fromFile(path));
 }
 
 WcnfFormula loadDimacsWcnf(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw DimacsError("cannot open file: " + path);
-  return readDimacsWcnf(in);
+  return fastParseDimacsWcnf(InputBuffer::fromFile(path));
 }
 
 void writeDimacsCnf(std::ostream& out, const CnfFormula& cnf) {

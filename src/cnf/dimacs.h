@@ -26,6 +26,13 @@ class DimacsError : public std::runtime_error {
 };
 
 /// Parses a DIMACS CNF stream. Throws DimacsError on malformed input.
+///
+/// All readers below are thin adapters over the zero-copy parser core
+/// in fastparse.h: `loadDimacs*` mmaps the file, `parseDimacs*` scans
+/// the string in place, and the istream overloads slurp the stream
+/// once and scan the buffer (the pipe path). Comments are strictly
+/// line-anchored ('c' first on its line); a '%' line ends the input
+/// (SAT-competition convention).
 [[nodiscard]] CnfFormula readDimacsCnf(std::istream& in);
 
 /// Parses a DIMACS CNF string.
@@ -43,6 +50,13 @@ class DimacsError : public std::runtime_error {
 
 /// Loads a WCNF (or CNF) file from disk. Throws DimacsError.
 [[nodiscard]] WcnfFormula loadDimacsWcnf(const std::string& path);
+
+/// Legacy istream tokenizer readers (the pre-fastparse implementation),
+/// kept for differential fuzzing and as the bench_parse A/B baseline.
+/// Known quirk the new core fixes: a mid-clause token with a leading
+/// 'c' (e.g. `cat`) is silently eaten as a comment-to-EOL here.
+[[nodiscard]] CnfFormula readDimacsCnfLegacy(std::istream& in);
+[[nodiscard]] WcnfFormula readDimacsWcnfLegacy(std::istream& in);
 
 /// Writes DIMACS CNF.
 void writeDimacsCnf(std::ostream& out, const CnfFormula& cnf);

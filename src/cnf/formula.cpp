@@ -12,6 +12,15 @@ std::int64_t CnfFormula::numLiterals() const {
   return n;
 }
 
+std::int64_t CnfFormula::memBytesEstimate() const {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(clauses_.capacity() * sizeof(Clause));
+  for (const Clause& c : clauses_) {
+    bytes += static_cast<std::int64_t>(c.capacity() * sizeof(Lit));
+  }
+  return bytes;
+}
+
 void CnfFormula::addClause(std::span<const Lit> lits) {
   addClause(Clause(lits.begin(), lits.end()));
 }

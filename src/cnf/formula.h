@@ -52,6 +52,18 @@ class CnfFormula {
     if (n > num_vars_) num_vars_ = n;
   }
 
+  /// Capacity hint for bulk construction (parser front ends); clamps
+  /// negatives to zero and never shrinks.
+  void reserveClauses(std::int64_t n) {
+    if (n > static_cast<std::int64_t>(clauses_.capacity())) {
+      clauses_.reserve(static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Heap bytes held by the clause storage (capacities, not sizes) —
+  /// the formula's contribution to an end-to-end memory budget.
+  [[nodiscard]] std::int64_t memBytesEstimate() const;
+
   /// Appends a clause (copying); grows the variable universe as needed.
   void addClause(std::span<const Lit> lits);
 

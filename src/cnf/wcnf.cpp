@@ -85,6 +85,19 @@ std::optional<int> WcnfFormula::numSoftSatisfied(const Assignment& a) const {
   return n;
 }
 
+std::int64_t WcnfFormula::memBytesEstimate() const {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(hard_.capacity() * sizeof(Clause)) +
+      static_cast<std::int64_t>(soft_.capacity() * sizeof(SoftClause));
+  for (const Clause& h : hard_) {
+    bytes += static_cast<std::int64_t>(h.capacity() * sizeof(Lit));
+  }
+  for (const SoftClause& s : soft_) {
+    bytes += static_cast<std::int64_t>(s.lits.capacity() * sizeof(Lit));
+  }
+  return bytes;
+}
+
 std::string WcnfFormula::summary() const {
   std::ostringstream os;
   os << "WCNF(vars=" << num_vars_ << ", hard=" << numHard()

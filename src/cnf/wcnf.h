@@ -95,6 +95,11 @@ class WcnfFormula {
   /// clause is violated.
   [[nodiscard]] std::optional<int> numSoftSatisfied(const Assignment& a) const;
 
+  /// Heap bytes held by the clause storage (capacities, not sizes) —
+  /// the formula's contribution to an end-to-end memory budget (see
+  /// Solver::Options::external_mem_bytes).
+  [[nodiscard]] std::int64_t memBytesEstimate() const;
+
   /// One-line summary.
   [[nodiscard]] std::string summary() const;
 

@@ -106,8 +106,12 @@ class OracleSession {
   }
 
   /// Loads the hard clauses of `f` (creating its variables first).
+  /// Runs under a bulk-load scope (Options::bulk_load, default on):
+  /// watch construction is deferred to one counting pass over the
+  /// whole batch instead of per-clause incremental growth.
   void addHards(const WcnfFormula& f) {
     ensureVars(f.numVars());
+    const Solver::BulkLoadGuard bulk(sat_, sat_.options().bulk_load);
     for (const Clause& c : f.hard()) {
       static_cast<void>(sat_.addClause(c));
     }
@@ -115,9 +119,10 @@ class OracleSession {
 
   /// Loads `f` through a SoftTracker (hards + selector-augmented softs);
   /// the formula must be unweighted. The tracker's assumptions are then
-  /// included in every `solve()`.
+  /// included in every `solve()`. Bulk-loaded like addHards.
   SoftTracker& trackSofts(const WcnfFormula& f) {
     assert(!tracker_.has_value());
+    const Solver::BulkLoadGuard bulk(sat_, sat_.options().bulk_load);
     tracker_.emplace(sat_, f);
     return *tracker_;
   }

@@ -1,0 +1,130 @@
+#include "gen/bigfile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstddef>
+
+namespace msu {
+
+namespace {
+
+/// xorshift64: fast, deterministic, good enough for workload shaping.
+struct XorShift64 {
+  std::uint64_t s;
+  explicit XorShift64(std::uint64_t seed) : s(seed | 1) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  /// Uniform in [1, n].
+  int upTo(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)) + 1; }
+};
+
+void appendInt(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+/// Appends one random clause body ("lit lit lit 0\n") drawn over
+/// p.vars; distinct variables, random polarity.
+void appendClauseBody(std::string& out, const BigFileParams& p,
+                      XorShift64& rng) {
+  for (int k = 0; k < p.clause_len; ++k) {
+    int v = rng.upTo(p.vars);
+    const bool neg = (rng.next() & 1) != 0;
+    appendInt(out, neg ? -static_cast<std::int64_t>(v) : v);
+    out.push_back(' ');
+  }
+  out.append("0\n");
+}
+
+}  // namespace
+
+std::string makeBigCnfText(const BigFileParams& p) {
+  XorShift64 rng(p.seed);
+  std::string body;
+  body.reserve(static_cast<std::size_t>(p.target_bytes) + 64);
+  std::int64_t clauses = 0;
+  while (static_cast<std::int64_t>(body.size()) < p.target_bytes) {
+    appendClauseBody(body, p, rng);
+    ++clauses;
+  }
+  std::string out = "c synthetic parse workload (gen/bigfile)\np cnf ";
+  appendInt(out, p.vars);
+  out.push_back(' ');
+  appendInt(out, clauses);
+  out.push_back('\n');
+  out += body;
+  return out;
+}
+
+std::string makeBigWcnfText(const BigFileParams& p) {
+  XorShift64 rng(p.seed);
+  const std::int64_t top = p.max_weight + 1;
+  std::string body;
+  body.reserve(static_cast<std::size_t>(p.target_bytes) + 64);
+  std::int64_t clauses = 0;
+  const auto hardCut = static_cast<std::uint64_t>(
+      p.hard_fraction * 4294967296.0);  // fraction of the 32-bit range
+  while (static_cast<std::int64_t>(body.size()) < p.target_bytes) {
+    const bool hard = (rng.next() & 0xFFFFFFFFu) < hardCut;
+    appendInt(body, hard ? top : rng.upTo(static_cast<int>(p.max_weight)));
+    body.push_back(' ');
+    appendClauseBody(body, p, rng);
+    ++clauses;
+  }
+  std::string out = "p wcnf ";
+  appendInt(out, p.vars);
+  out.push_back(' ');
+  appendInt(out, clauses);
+  out.push_back(' ');
+  appendInt(out, top);
+  out.push_back('\n');
+  out += body;
+  return out;
+}
+
+std::string makeBigOpbText(const BigFileParams& p) {
+  XorShift64 rng(p.seed);
+  std::string body;
+  body.reserve(static_cast<std::size_t>(p.target_bytes) + 256);
+  // Objective over a prefix of the universe.
+  body += "min:";
+  const int objVars = std::min(p.vars, 64);
+  for (int i = 1; i <= objVars; ++i) {
+    body += " +";
+    appendInt(body, 1 + static_cast<std::int64_t>(rng.next() % 5));
+    body += " x";
+    appendInt(body, i);
+  }
+  body += " ;\n";
+  std::int64_t constraints = 0;
+  while (static_cast<std::int64_t>(body.size()) < p.target_bytes) {
+    // Clausal constraint: sum of +-1 literals >= 1 - #negated.
+    int negs = 0;
+    for (int k = 0; k < p.clause_len; ++k) {
+      const int v = rng.upTo(p.vars);
+      const bool neg = (rng.next() & 1) != 0;
+      body += neg ? " -1 x" : " +1 x";
+      if (neg) ++negs;
+      appendInt(body, v);
+    }
+    body += " >= ";
+    appendInt(body, 1 - negs);
+    body += " ;\n";
+    ++constraints;
+  }
+  std::string out = "* #variable= ";
+  appendInt(out, p.vars);
+  out += " #constraint= ";
+  appendInt(out, constraints);
+  out.push_back('\n');
+  out += body;
+  return out;
+}
+
+}  // namespace msu

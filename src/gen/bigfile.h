@@ -1,0 +1,57 @@
+/// \file bigfile.h
+/// \brief Synthetic huge-instance *text* generators for the parse
+///        pipeline benches: they emit DIMACS CNF, (old-style) WCNF and
+///        OPB documents of a requested byte size directly as strings,
+///        without building a formula object first. Generation must be
+///        much faster than parsing so bench_parse measures the parser,
+///        not the generator — clause text is written with to_chars into
+///        one preallocated buffer, no iostreams.
+///
+/// The instances are 3-SAT-style random clauses over a fixed variable
+/// universe; they are *parser workloads*, not interesting search
+/// instances (the pipeline bench only runs the first propagation).
+/// Generation is deterministic in the seed, so the old/new parser A/B
+/// sides of a bench record see byte-identical input.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msu {
+
+/// Parameters of a generated instance text.
+struct BigFileParams {
+  /// Approximate size of the emitted document in bytes; generation
+  /// stops at the first clause boundary past the target.
+  std::int64_t target_bytes = 16ll << 20;
+
+  /// Variable universe (literals are drawn uniformly from it).
+  int vars = 200000;
+
+  /// Literals per clause.
+  int clause_len = 3;
+
+  /// RNG seed (xorshift64); same seed, same document.
+  std::uint64_t seed = 1;
+
+  /// WCNF only: soft-clause weights are drawn from [1, max_weight].
+  std::int64_t max_weight = 9;
+
+  /// WCNF only: roughly this fraction of clauses is emitted hard
+  /// (weight == top).
+  double hard_fraction = 0.3;
+};
+
+/// DIMACS CNF document of ~target_bytes (`p cnf` header + clauses).
+[[nodiscard]] std::string makeBigCnfText(const BigFileParams& p);
+
+/// Old-style DIMACS WCNF document (`p wcnf <v> <c> <top>`; a clause of
+/// weight top is hard).
+[[nodiscard]] std::string makeBigWcnfText(const BigFileParams& p);
+
+/// OPB document: a `min:` objective over the first variables plus
+/// clausal `>=` constraints (the canonical CNF-as-PB encoding).
+[[nodiscard]] std::string makeBigOpbText(const BigFileParams& p);
+
+}  // namespace msu

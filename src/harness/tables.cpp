@@ -255,7 +255,8 @@ void exportStatsToMetrics(obs::MetricsRegistry& registry,
   const auto isGauge = [](const std::string& name) {
     return name == "tier_core" || name == "tier_tier2" ||
            name == "tier_local" || name == "restart_mode" ||
-           name == "mem_bytes";
+           name == "mem_bytes" || name == "mem_arena_bytes" ||
+           name == "mem_watch_bytes" || name == "mem_external_bytes";
   };
   stats.forEachField([&](const char* name, std::int64_t value) {
     const std::string n(name);

@@ -3,6 +3,10 @@
 #include <ostream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace msu {
 namespace obs {
 
@@ -98,6 +102,20 @@ void MetricsRegistry::writeProm(std::ostream& out) const {
       }
     }
   }
+}
+
+std::int64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace obs

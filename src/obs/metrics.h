@@ -127,5 +127,12 @@ class MetricsRegistry {
   std::map<std::string, Entry> metrics_;
 };
 
+/// Process-wide peak resident set size in bytes (getrusage ru_maxrss),
+/// or 0 where the platform offers no equivalent. The OS-truth companion
+/// to the solver's cooperative accounting (SolverStats::mem_bytes):
+/// the cooperative gauge is what budgets enforce, this is what the
+/// kernel actually charged — the memory-budget benches record both.
+[[nodiscard]] std::int64_t peakRssBytes();
+
 }  // namespace obs
 }  // namespace msu

@@ -1,17 +1,22 @@
 #include "pbo/opb.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
+
+#include "cnf/fastparse.h"
 
 namespace msu {
 
 namespace {
 
 /// Splits the input into whitespace-separated tokens, dropping `*`
-/// comment lines.
+/// comment lines. Legacy path only (readOpbLegacy).
 std::vector<std::string> tokenize(std::istream& in) {
   std::vector<std::string> tokens;
   std::string line;
@@ -67,9 +72,147 @@ std::vector<std::string> tokenize(std::istream& in) {
   }
 }
 
+[[nodiscard]] bool isRelopView(std::string_view tok) {
+  return tok == ">=" || tok == "<=" || tok == "=";
+}
+
+/// Zero-copy twin of parseCoeff over a buffer token.
+[[nodiscard]] Weight parseCoeffView(std::string_view tok) {
+  std::size_t i = 0;
+  bool neg = false;
+  if (!tok.empty() && (tok[0] == '+' || tok[0] == '-')) {
+    neg = tok[0] == '-';
+    i = 1;
+  }
+  if (i == tok.size()) throw OpbError("bad coefficient: " + std::string(tok));
+  std::uint64_t v = 0;
+  for (; i < tok.size(); ++i) {
+    const char ch = tok[i];
+    if (ch < '0' || ch > '9') {
+      throw OpbError("bad coefficient: " + std::string(tok));
+    }
+    v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  const std::uint64_t lim =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) +
+      (neg ? 1u : 0u);
+  if (tok.size() > 20 || v > lim) {
+    throw OpbError("bad coefficient: " + std::string(tok));
+  }
+  return neg ? -static_cast<Weight>(v) : static_cast<Weight>(v);
+}
+
+/// Zero-copy twin of parseLitToken: "x12" or "~x12" (1-based).
+[[nodiscard]] Lit parseLitTokenView(std::string_view tok) {
+  std::string_view body = tok;
+  bool negated = false;
+  if (!body.empty() && body[0] == '~') {
+    negated = true;
+    body.remove_prefix(1);
+  }
+  if (body.size() < 2 || body[0] != 'x') {
+    throw OpbError("bad variable: " + std::string(tok));
+  }
+  body.remove_prefix(1);
+  std::uint64_t id = 0;
+  for (const char ch : body) {
+    if (ch < '0' || ch > '9') throw OpbError("bad variable: " + std::string(tok));
+    id = id * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  constexpr std::uint64_t kMaxVarId =
+      std::numeric_limits<std::int32_t>::max() / 2;
+  if (id == 0 || body.size() > 19 || id > kMaxVarId) {
+    throw OpbError("bad variable: " + std::string(tok));
+  }
+  return mkLit(static_cast<Var>(id - 1), negated);
+}
+
+/// The live OPB parser: one pointer-bumping pass over the buffer.
+PboProblem parseOpbBuffer(const InputBuffer& buf) {
+  FastCursor cur(buf, '*', /*percentEndsInput=*/false);
+  PboProblem problem;
+  Var maxVar = -1;
+
+  const auto noteVar = [&maxVar](Lit p) { maxVar = std::max(maxVar, p.var()); };
+
+  std::string_view tok = cur.readWord();
+
+  // Optional objective.
+  if (tok == "min:") {
+    tok = cur.readWord();
+    while (!tok.empty() && tok != ";") {
+      const std::string_view litTok = cur.readWord();
+      if (litTok.empty()) throw OpbError("truncated objective");
+      const Weight coeff = parseCoeffView(tok);
+      const Lit lit = parseLitTokenView(litTok);
+      noteVar(lit);
+      if (coeff >= 0) {
+        if (coeff > 0) problem.objective.push_back({lit, coeff});
+      } else {
+        // -c*l == -c + c*(~l) with c = -coeff > 0.
+        problem.objective.push_back({~lit, -coeff});
+        problem.objectiveOffset += coeff;
+      }
+      tok = cur.readWord();
+    }
+    if (tok.empty()) throw OpbError("objective missing ';'");
+    tok = cur.readWord();
+  }
+
+  // Constraints.
+  while (!tok.empty()) {
+    std::vector<PbTerm> terms;
+    while (!tok.empty() && !isRelopView(tok)) {
+      const std::string_view litTok = cur.readWord();
+      if (litTok.empty()) throw OpbError("truncated constraint");
+      const Weight coeff = parseCoeffView(tok);
+      const Lit lit = parseLitTokenView(litTok);
+      noteVar(lit);
+      terms.push_back({lit, coeff});
+      tok = cur.readWord();
+    }
+    if (tok.empty()) throw OpbError("constraint missing relation");
+    const std::string_view relop = tok;
+    const std::string_view boundTok = cur.readWord();
+    if (boundTok.empty()) throw OpbError("constraint missing bound");
+    const Weight bound = parseCoeffView(boundTok);
+    if (cur.readWord() != ";") throw OpbError("constraint missing ';'");
+
+    if (relop == "<=" || relop == "=") {
+      problem.constraints.push_back({terms, bound});
+    }
+    if (relop == ">=" || relop == "=") {
+      // sum(c*l) >= b  <=>  sum(-c*l) <= -b.
+      std::vector<PbTerm> flipped = terms;
+      for (PbTerm& t : flipped) t.coeff = -t.coeff;
+      problem.constraints.push_back({std::move(flipped), -bound});
+    }
+    tok = cur.readWord();
+  }
+
+  problem.numVars = maxVar + 1;
+  return problem;
+}
+
 }  // namespace
 
 PboProblem readOpb(std::istream& in) {
+  return parseOpbBuffer(InputBuffer::fromStream(in));
+}
+
+PboProblem parseOpb(const std::string& text) {
+  return parseOpbBuffer(InputBuffer::borrow(text.data(), text.size()));
+}
+
+PboProblem loadOpb(const std::string& path) {
+  try {
+    return parseOpbBuffer(InputBuffer::fromFile(path));
+  } catch (const DimacsError& e) {
+    throw OpbError(e.what());  // I/O failures surface as this module's error
+  }
+}
+
+PboProblem readOpbLegacy(std::istream& in) {
   const std::vector<std::string> tokens = tokenize(in);
   PboProblem problem;
   std::size_t i = 0;
@@ -131,11 +274,6 @@ PboProblem readOpb(std::istream& in) {
 
   problem.numVars = maxVar + 1;
   return problem;
-}
-
-PboProblem parseOpb(const std::string& text) {
-  std::istringstream in(text);
-  return readOpb(in);
 }
 
 void writeOpb(std::ostream& out, const PboProblem& problem) {

@@ -190,6 +190,15 @@ class ClauseArena {
  public:
   ClauseArena() { mem_.reserve(1u << 16); }
 
+  /// True iff allocating a clause of `nLits` literals could push a CRef
+  /// past the 31-bit ceiling that Reason's tag bit imposes (2^31 words
+  /// = 8 GiB of clause storage). The solver's load path checks this and
+  /// fails cooperatively (AbortReason::kMemory) instead of aborting;
+  /// alloc() itself keeps the hard abort as the search-path backstop.
+  [[nodiscard]] bool wouldOverflow(std::size_t nLits) const {
+    return mem_.size() + nLits + 4 > (1u << 31);
+  }
+
   /// Allocates a clause; returns its reference. `tagVar`, when defined,
   /// records the activator variable owning the clause (see retire()).
   [[nodiscard]] CRef alloc(std::span<const Lit> lits, bool learnt,
@@ -197,7 +206,7 @@ class ClauseArena {
     // CRefs must stay below 2^31: the solver packs a tag bit beside
     // them (see Reason in watches.h). Fail loudly rather than hand out
     // references whose top bit would be misread as the binary tag.
-    if (mem_.size() + lits.size() + 4 > (1u << 31)) std::abort();
+    if (wouldOverflow(lits.size())) std::abort();
     const auto size = static_cast<std::uint32_t>(lits.size());
     const bool tagged = tagVar != kUndefVar;
     const CRef ref = static_cast<CRef>(mem_.size());

@@ -311,10 +311,18 @@ void Solver::checkCrossScopeRefs(std::span<const Lit> lits) const {
 bool Solver::addClause(std::span<const Lit> lits) {
   assert(opts_.reuse_trail || decisionLevel() == 0);
   if (!ok_) return false;
+  // Poisoned load (memory cap / arena overflow): swallow further
+  // clauses without touching ok_ — engines read okay(), and a false
+  // there means "hard clauses are UNSAT", which this is not. The next
+  // pollAborted() surfaces AbortReason::kMemory instead.
+  if (load_failed_) return true;
+  maybeCheckLoadMem();
+  if (load_failed_) return true;
   if (opts_.check_cross_scope) checkCrossScopeRefs(lits);
   traceAxiom(lits);
 
-  std::vector<Lit> ps(lits.begin(), lits.end());
+  add_tmp_.assign(lits.begin(), lits.end());
+  std::vector<Lit>& ps = add_tmp_;
   // A clause naming removed variables is legal: substituted literals
   // are rewritten to their representatives and eliminated variables
   // transparently restored (reconstruction contract, solver.h).
@@ -355,18 +363,31 @@ bool Solver::addClause(std::span<const Lit> lits) {
     // above a new top-level fact.
     if (decisionLevel() > 0) cancelUntil(0);
     uncheckedEnqueue(ps[0]);
+    if (bulk_depth_ > 0) return true;  // one propagate() in endBulkLoad
     ok_ = propagate().isNone();
     if (!ok_) traceLemma({});  // level-0 conflict refutes the database
     return ok_;
   }
   if (decisionLevel() > 0) prepareWarmAttach(ps);
   if (ps.size() == 2) {
+    if (bulk_depth_ > 0) {
+      bulk_bins_.emplace_back(ps[0], ps[1]);
+      return true;
+    }
     attachBinary(ps[0], ps[1], /*learnt=*/false);
+    return true;
+  }
+  if (arena_.wouldOverflow(ps.size())) {
+    failLoadArenaOverflow(ps.size());
     return true;
   }
   noteAllocFault();
   const CRef ref = arena_.alloc(ps, /*learnt=*/false, currentScopeTag());
   clauses_.push_back(ref);
+  if (bulk_depth_ > 0) {
+    bulk_longs_.push_back(ref);
+    return true;
+  }
   attachClause(ref);
   return true;
 }
@@ -428,6 +449,60 @@ void Solver::attachBinary(Lit a, Lit b, bool learnt) {
   } else {
     ++num_bin_orig_;
   }
+}
+
+void Solver::beginBulkLoad() {
+  assert(!inprocessing_);
+  if (bulk_depth_++ > 0) return;
+  // Bulk loading is a root-level operation: a kept warm trail cannot
+  // survive the batch of root facts about to arrive (the per-clause
+  // path would cancel it at the first unit anyway).
+  if (decisionLevel() > 0) cancelUntil(0);
+}
+
+bool Solver::endBulkLoad() {
+  assert(bulk_depth_ > 0);
+  if (--bulk_depth_ > 0) return ok_ && !load_failed_;
+  bulkAttachAll();
+  // One propagation pass over every unit the load enqueued. The
+  // per-clause path propagates after each unit; deferring the whole
+  // cascade to here is bulk mode's single semantic difference (see the
+  // contract in solver.h).
+  if (ok_ && qhead_ < trailSize()) {
+    ok_ = propagate().isNone();
+    if (!ok_) traceLemma({});  // level-0 conflict refutes the database
+  }
+  refreshMemStats();
+  return ok_ && !load_failed_;
+}
+
+void Solver::bulkAttachAll() {
+  assert(decisionLevel() == 0);
+  if (bulk_bins_.empty() && bulk_longs_.empty()) return;
+  // Counting pass: exact per-literal watch demand, so the reservation
+  // below is one allocation per pool and every push lands in place.
+  const std::size_t nlits = static_cast<std::size_t>(watches_.numLits());
+  std::vector<std::uint32_t> binExtra(nlits, 0);
+  std::vector<std::uint32_t> longExtra(nlits, 0);
+  for (const auto& [a, b] : bulk_bins_) {
+    ++binExtra[static_cast<std::size_t>((~a).index())];
+    ++binExtra[static_cast<std::size_t>((~b).index())];
+  }
+  for (const CRef ref : bulk_longs_) {
+    const ClauseRefView c = arena_[ref];
+    ++longExtra[static_cast<std::size_t>((~c[0]).index())];
+    ++longExtra[static_cast<std::size_t>((~c[1]).index())];
+  }
+  watches_.reserveExtra(binExtra, longExtra);
+  // Attach in insertion order: binary and long watchers live in
+  // separate pools, so per-literal list contents come out identical to
+  // what per-clause addClause would have built.
+  for (const auto& [a, b] : bulk_bins_) attachBinary(a, b, /*learnt=*/false);
+  for (const CRef ref : bulk_longs_) attachClause(ref);
+  bulk_bins_.clear();
+  bulk_bins_.shrink_to_fit();
+  bulk_longs_.clear();
+  bulk_longs_.shrink_to_fit();
 }
 
 void Solver::removeClause(CRef ref) {
@@ -1264,7 +1339,42 @@ std::int64_t Solver::memBytesEstimate() const {
   b += static_cast<std::int64_t>(trail_.capacity()) * sizeof(Lit);
   b += static_cast<std::int64_t>(clauses_.capacity() + learnts_.capacity()) *
        static_cast<std::int64_t>(sizeof(CRef));
+  // Deferred bulk-load attachments (transient, but real while a load is
+  // in flight — exactly when a cap matters most) and bytes the owning
+  // layer charged to this solver (parse buffers, formula storage).
+  b += static_cast<std::int64_t>(bulk_bins_.capacity() *
+                                     sizeof(std::pair<Lit, Lit>) +
+                                 bulk_longs_.capacity() * sizeof(CRef));
+  b += opts_.external_mem_bytes;
   return b;
+}
+
+void Solver::refreshMemStats() {
+  stats_.mem_arena_bytes = static_cast<std::int64_t>(arena_.bytes());
+  stats_.mem_watch_bytes = static_cast<std::int64_t>(watches_.bytes());
+  stats_.mem_external_bytes = opts_.external_mem_bytes;
+  stats_.mem_bytes = memBytesEstimate();
+}
+
+void Solver::maybeCheckLoadMem() {
+  if (--load_mem_countdown_ > 0) return;
+  load_mem_countdown_ = kLoadMemCheckPeriod;
+  if (!budget_.hasMemoryCap()) return;
+  refreshMemStats();
+  if (budget_.memoryExhausted(stats_.mem_bytes)) load_failed_ = true;
+}
+
+void Solver::failLoadArenaOverflow(std::size_t clauseLits) {
+  if (!load_failed_) {
+    std::fprintf(stderr,
+                 "msu: clause arena full: a %zu-literal clause would push a "
+                 "clause reference past the 31-bit cap (2^31 words = 8 GiB "
+                 "of clause storage); failing the load cooperatively with "
+                 "AbortReason::memory\n",
+                 clauseLits);
+  }
+  load_failed_ = true;
+  budget_.noteAbort(AbortReason::kMemory);
 }
 
 bool Solver::pollAborted() {
@@ -1275,14 +1385,16 @@ bool Solver::pollAborted() {
     return true;
   }
   if (budget_.timeExpired()) return true;
-  if (alloc_failed_) {
-    // A simulated allocation failure behaves like the memory cap
-    // tripping: cooperative unwind, structured reason, no corruption.
+  if (alloc_failed_ || load_failed_) {
+    // A simulated allocation failure — or a poisoned load (memory cap
+    // or arena-ref overflow during addClause) — behaves like the memory
+    // cap tripping: cooperative unwind, structured reason, no
+    // corruption.
     budget_.noteAbort(AbortReason::kMemory);
     return true;
   }
   if (budget_.hasMemoryCap()) {
-    stats_.mem_bytes = memBytesEstimate();
+    refreshMemStats();
     if (budget_.memoryExhausted(stats_.mem_bytes)) return true;
   }
   return false;
@@ -1574,7 +1686,7 @@ lbool Solver::solve(std::span<const Lit> assumptions) {
   // else rewinds to the root as before.
   if (!opts_.reuse_trail) cancelUntil(0);
   assumptions_.clear();
-  stats_.mem_bytes = memBytesEstimate();
+  refreshMemStats();
   solveSpan.arg("conflicts", stats_.conflicts - traceConflicts0);
   return status;
 }

@@ -199,6 +199,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "cnf/literal.h"
@@ -419,6 +420,22 @@ class Solver {
     /// the probing stage.
     std::int64_t inprocess_probe_props = 20'000;
 
+    /// Bytes of caller-owned storage charged to this solver's memory
+    /// footprint (the parsed formula, parse buffers): counted into
+    /// memBytesEstimate() so Budget::setMaxMemory caps the *end-to-end*
+    /// ingest-to-solve footprint, not just the clause database. The
+    /// job layer sets it from WcnfFormula::memBytesEstimate(); engines
+    /// that fan one formula out to several solvers (portfolio, cubes)
+    /// charge it to each worker — deliberately conservative.
+    std::int64_t external_mem_bytes = 0;
+
+    /// Load hard/soft clauses through the bulk path (beginBulkLoad/
+    /// endBulkLoad) in OracleSession::addHards()/trackSofts(). On by
+    /// default; off restores per-clause attachment (the A/B baseline
+    /// for bench_parse's pipeline cases and the bit-for-bit gate in
+    /// tests/bulkload_test.cpp).
+    bool bulk_load = true;
+
     /// Abort with the offending scope id when a clause references a
     /// variable of a live scope that is neither open for emission nor
     /// older than the emitting scope (the misuse retire()'s literal
@@ -482,6 +499,69 @@ class Solver {
 
   /// False iff unsatisfiability was already established at level 0.
   [[nodiscard]] bool okay() const { return ok_; }
+
+  /// The options this solver was constructed with (read-only).
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // ---- Bulk clause loading (huge-instance ingest) ----------------------
+  //
+  // Contract: between beginBulkLoad() and endBulkLoad(), addClause()
+  // keeps its root-level simplification semantics exactly (tautology
+  // and satisfied-clause dropping, false-literal stripping, duplicate
+  // collapse, unit enqueue, empty clause => not okay) but defers all
+  // watcher construction: binaries and long clauses are parked, and
+  // unit propagation does not run after each unit. endBulkLoad() then
+  // sizes every watch list in one counting pass (no segment ever
+  // relocates), attaches the parked clauses in insertion order — so
+  // per-literal watcher order is identical to per-clause loading — and
+  // runs a single propagate() over everything the load enqueued.
+  //
+  // Equivalence: when the loaded clauses imply no root units, the
+  // resulting solver is bit-for-bit identical to per-clause loading
+  // (same watcher order, same stats); with units, the clause database
+  // may differ textually (per-clause loading simplifies later clauses
+  // against units derived from earlier ones; bulk loading sees those
+  // only at endBulkLoad) but is logically equivalent — solve results
+  // match (gated by tests/bulkload_test.cpp).
+  //
+  // Calls nest (depth-counted); only the outermost pair does work.
+  // Entering bulk mode cancels a warm trail to level 0; solve() and
+  // retirement must not run while a bulk load is open (asserted).
+  //
+  // 32-bit arena-ref cap: clause storage lives in one flat arena
+  // addressed by 31-bit word offsets (Reason packs a tag bit), so the
+  // total clause database is capped at 2^31 words = 8 GiB. The load
+  // path checks the cap per clause and fails *cooperatively*: the
+  // solver stops storing clauses, prints one clear diagnostic, and the
+  // next budget poll (or solve() entry) aborts with
+  // AbortReason::kMemory — the structured out-of-memory path, not a
+  // crash. Search-time allocations keep the arena's hard abort as a
+  // backstop.
+
+  /// Enters bulk-load mode (see the contract above).
+  void beginBulkLoad();
+
+  /// Leaves bulk-load mode; at the outermost level builds the watch
+  /// lists and propagates the loaded units. Returns okay().
+  bool endBulkLoad();
+
+  /// RAII wrapper: begin on construction, end on destruction. The
+  /// `enable` flag makes call sites branch-free A/B switches.
+  class BulkLoadGuard {
+   public:
+    explicit BulkLoadGuard(Solver& solver, bool enable = true)
+        : solver_(enable ? &solver : nullptr) {
+      if (solver_ != nullptr) solver_->beginBulkLoad();
+    }
+    ~BulkLoadGuard() {
+      if (solver_ != nullptr) static_cast<void>(solver_->endBulkLoad());
+    }
+    BulkLoadGuard(const BulkLoadGuard&) = delete;
+    BulkLoadGuard& operator=(const BulkLoadGuard&) = delete;
+
+   private:
+    Solver* solver_;
+  };
 
   // ---- Encoding lifecycle (see the file comment) -----------------------
 
@@ -776,6 +856,24 @@ class Solver {
   /// is set). Returns true iff the solve must unwind with Undef.
   [[nodiscard]] bool pollAborted();
 
+  /// Refreshes the SolverStats memory gauges (mem_bytes + the arena/
+  /// watch/external breakdown) from the live structures.
+  void refreshMemStats();
+
+  /// Amortized load-time memory check (every kLoadMemCheckPeriod
+  /// addClause calls, only when a cap is set): trips load_failed_ so
+  /// the next poll aborts with kMemory instead of overcommitting.
+  void maybeCheckLoadMem();
+
+  /// Cooperative 31-bit arena-ref overflow failure on the load path:
+  /// one diagnostic, then load_failed_ (see the bulk-load contract).
+  void failLoadArenaOverflow(std::size_t clauseLits);
+
+  /// Attaches everything parked by bulk-mode addClause: one counting
+  /// pass sizes the watch lists exactly, then binaries and longs
+  /// attach in insertion order.
+  void bulkAttachAll();
+
   /// Fault-injection hook at arena-allocation sites: flips
   /// alloc_failed_ when the injector says this allocation "fails".
   void noteAllocFault() {
@@ -895,6 +993,21 @@ class Solver {
   // condition does not clear, mirroring a real memory wall. The job
   // layer discards the solver; the object itself stays consistent.
   bool alloc_failed_ = false;
+
+  // Bulk-load state (beginBulkLoad/endBulkLoad). While bulk_depth_ > 0
+  // addClause parks attachments here instead of touching the watch
+  // lists; endBulkLoad drains both vectors in insertion order after one
+  // exact counting pass. load_failed_ is the cooperative load-time
+  // failure latch (memory cap exceeded or arena-ref overflow): the
+  // solver stays ok_ == true so engines don't misreport hard-UNSAT,
+  // and the next pollAborted() surfaces AbortReason::kMemory.
+  int bulk_depth_ = 0;
+  std::vector<std::pair<Lit, Lit>> bulk_bins_;  // deferred binary watches
+  std::vector<CRef> bulk_longs_;                // deferred long watches
+  std::vector<Lit> add_tmp_;  // addClause scratch (no per-call alloc)
+  bool load_failed_ = false;
+  int load_mem_countdown_ = 0;  // adds until the next cap check
+  static constexpr int kLoadMemCheckPeriod = 1024;
 
   // Inprocessing state. `inprocessing_` disables phase saving while a
   // vivification probe unwinds, so probe trails don't perturb the

@@ -59,7 +59,10 @@ namespace msu {
   X(reused_trail_lits)             \
   X(restarts_blocked)              \
   X(mode_switches)                 \
-  X(mem_bytes)
+  X(mem_bytes)                     \
+  X(mem_arena_bytes)               \
+  X(mem_watch_bytes)               \
+  X(mem_external_bytes)
 
 /// Cumulative CDCL statistics. All counters are monotone over the
 /// solver's lifetime except the `tier_*` occupancy gauges, which track
@@ -139,6 +142,14 @@ struct SolverStats {
   // vectors — refreshed at budget poll sites and at solve() exit.
   // Summing across portfolio workers yields the combined footprint.
   std::int64_t mem_bytes = 0;  ///< gauge: accounted solver bytes
+
+  // Breakdown gauges under mem_bytes (same refresh points): the clause
+  // arena's backing store, the watch-table pools + header table, and
+  // the bytes an owning layer charged to this solver via
+  // Options::external_mem_bytes (parse buffers, formula storage).
+  std::int64_t mem_arena_bytes = 0;     ///< gauge: clause-arena bytes
+  std::int64_t mem_watch_bytes = 0;     ///< gauge: watch-table bytes
+  std::int64_t mem_external_bytes = 0;  ///< gauge: externally charged bytes
 
   /// Invokes `f(name, value)` for every counter, in declaration order.
   /// Benches and tables build their field lists through this.

@@ -372,6 +372,47 @@ class WatchTable {
     }
   }
 
+  /// Bulk reservation (the bulk-load counting pass): rewrites both
+  /// pools so every literal's capacity is exactly its current size plus
+  /// the announced extra, preserving entries in order. One allocation
+  /// per pool; the pushes that follow never relocate a segment.
+  /// Invalidates all previously fetched offsets. The spans are indexed
+  /// by Lit::index() and must cover every registered literal.
+  void reserveExtra(std::span<const std::uint32_t> binExtra,
+                    std::span<const std::uint32_t> longExtra) {
+    assert(binExtra.size() == heads_.size() &&
+           longExtra.size() == heads_.size());
+    std::size_t needBin = 0;
+    std::size_t needLong = 0;
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+      needBin += heads_[i].bin_size + binExtra[i];
+      needLong += heads_[i].long_size + longExtra[i];
+    }
+    std::vector<BinWatch> freshBin(needBin);
+    std::vector<Watcher> freshLong(needLong);
+    std::uint32_t atBin = 0;
+    std::uint32_t atLong = 0;
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+      Head& h = heads_[i];
+      for (std::uint32_t k = 0; k < h.bin_size; ++k) {
+        freshBin[atBin + k] = bin_pool_[h.bin_offset + k];
+      }
+      h.bin_offset = atBin;
+      h.bin_cap = h.bin_size + binExtra[i];
+      atBin += h.bin_cap;
+      for (std::uint32_t k = 0; k < h.long_size; ++k) {
+        freshLong[atLong + k] = long_pool_[h.long_offset + k];
+      }
+      h.long_offset = atLong;
+      h.long_cap = h.long_size + longExtra[i];
+      atLong += h.long_cap;
+    }
+    bin_pool_ = std::move(freshBin);
+    long_pool_ = std::move(freshLong);
+    wasted_bin_ = 0;
+    wasted_long_ = 0;
+  }
+
   /// Rewrites both pools tightly (with a little per-list slack), fixing
   /// up every header. Invalidates all previously fetched offsets.
   void compact() {

@@ -40,6 +40,11 @@ struct SolveService::Job {
   WcnfFormula formula;
   JobLimits limits;
 
+  /// Formula-storage estimate (bytes), computed at submit(); the
+  /// admission-control floor for this job's memory while queued or
+  /// running, and the solver's Options::external_mem_bytes charge.
+  std::int64_t formula_mem = 0;
+
   JobState state = JobState::kQueued;
   std::atomic<bool> interrupt{false};
   std::atomic<int> abort{static_cast<int>(AbortReason::kNone)};
@@ -86,6 +91,8 @@ SolveService::SolveService(SolveServiceOptions opts) : opts_(std::move(opts)) {
         &reg.gauge("msu_svc_running_jobs", "Jobs currently solving"),
         &reg.gauge("msu_svc_mem_bytes",
                    "Solver memory across running jobs (bytes)"),
+        &reg.gauge("msu_svc_peak_rss_bytes",
+                   "Process peak resident set size (bytes)"),
         &reg.histogram("msu_svc_job_queue_us", "Job queue latency"),
         &reg.histogram("msu_svc_job_solve_us", "Job solve latency"),
     };
@@ -113,9 +120,26 @@ SolveService::Submission SolveService::submit(WcnfFormula formula,
       makeSolver(*limits.engine, MaxSatOptions{}) == nullptr) {
     return {SubmitStatus::kBadEngine, kJobIdUndef};
   }
+  // Estimated before taking the lock: the walk over the clause vectors
+  // is O(clauses) and must not serialize other submitters.
+  const std::int64_t incomingMem = formula.memBytesEstimate();
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return {SubmitStatus::kShutdown, kJobIdUndef};
-  if (queue_.size() >= opts_.max_queue_depth) {
+  bool overloaded = queue_.size() >= opts_.max_queue_depth;
+  if (!overloaded && opts_.max_service_mem_bytes) {
+    // Admission control on aggregate memory: live accounting for
+    // running jobs (floored at their formula estimate — the solver's
+    // gauge lags until the load finishes), estimates for queued ones.
+    std::int64_t aggregate = incomingMem;
+    for (const std::shared_ptr<Job>& j : running_) {
+      aggregate += std::max(
+          j->progress.mem_bytes.load(std::memory_order_relaxed),
+          j->formula_mem);
+    }
+    for (const std::shared_ptr<Job>& j : queue_) aggregate += j->formula_mem;
+    overloaded = aggregate > *opts_.max_service_mem_bytes;
+  }
+  if (overloaded) {
     ++counters_.shed;
     if (metrics_) metrics_->shed->add(1);
     return {SubmitStatus::kOverloaded, kJobIdUndef};
@@ -125,6 +149,7 @@ SolveService::Submission SolveService::submit(WcnfFormula formula,
   job->seq = next_seq_++;
   job->formula = std::move(formula);
   job->limits = limits;
+  job->formula_mem = incomingMem;
   job->submit_time = Clock::now();
   jobs_.emplace(job->id, job);
   queue_.push_back(job);
@@ -362,6 +387,10 @@ void SolveService::runJob(const std::shared_ptr<Job>& job) {
   opts.budget.setInterrupt(&job->interrupt);
   opts.budget.setAbortSink(&job->abort);
   opts.sat.fault = job->limits.fault;
+  // Charge the formula's own storage to the solver's cooperative
+  // accounting, so a JobLimits::max_memory_bytes cap covers the whole
+  // job footprint (parse product included), not just solver structures.
+  opts.sat.external_mem_bytes = job->formula_mem;
 
   // Observability wiring — all observational, none of it steers the
   // search: the progress sink receives per-oracle-call deltas, the
@@ -420,9 +449,11 @@ void SolveService::updateMemGauge() {
   if (!metrics_) return;
   std::int64_t total = 0;
   for (const std::shared_ptr<Job>& job : running_) {
-    total += job->progress.mem_bytes.load(std::memory_order_relaxed);
+    total += std::max(job->progress.mem_bytes.load(std::memory_order_relaxed),
+                      job->formula_mem);
   }
   metrics_->mem_bytes->set(total);
+  metrics_->peak_rss->set(obs::peakRssBytes());
 }
 
 }  // namespace msu

@@ -76,6 +76,16 @@ struct SolveServiceOptions {
   /// sheds load with kOverloaded.
   std::size_t max_queue_depth = 64;
 
+  /// Service-wide memory ceiling in bytes. When set, submit() estimates
+  /// the incoming formula's footprint (WcnfFormula::memBytesEstimate)
+  /// and sheds with kOverloaded whenever the aggregate — running jobs'
+  /// live solver accounting (at least their formula estimate), queued
+  /// jobs' formula estimates, and the incoming job — would exceed the
+  /// ceiling. Complements per-job JobLimits::max_memory_bytes: that cap
+  /// aborts one oversized job with AbortReason::kMemory, this one
+  /// refuses admission so the fleet never overcommits. Unset = no cap.
+  std::optional<std::int64_t> max_service_mem_bytes;
+
   /// Engine name for every job (harness/factory.h names, e.g.
   /// "msu4-v2", "oll", "linear"). One engine instance is built per job.
   std::string engine = "msu4-v2";
@@ -103,8 +113,9 @@ struct SolveServiceOptions {
   /// When set, the service registers and maintains job counters
   /// (submitted/shed/completed/cancelled), queue-depth and running
   /// gauges, queue/solve latency histograms, the service-wide
-  /// `msu_svc_mem_bytes` gauge aggregated across running jobs
-  /// (observation only — shedding still triggers on queue depth), the
+  /// `msu_svc_mem_bytes` gauge aggregated across running jobs (the
+  /// shedding input when max_service_mem_bytes is set), the process
+  /// `msu_svc_peak_rss_bytes` high-water gauge, the
   /// per-oracle-call latency and drain-size histograms, and mirrors
   /// every completed job's SolverStats into `msu_solver_*_total`
   /// counters (harness/tables exportStatsToMetrics). Null = no metrics.
@@ -183,6 +194,7 @@ class SolveService {
     obs::Gauge* queue_depth;
     obs::Gauge* running;
     obs::Gauge* mem_bytes;
+    obs::Gauge* peak_rss;
     obs::Histogram* queue_us;
     obs::Histogram* solve_us;
   };

@@ -297,6 +297,45 @@ TEST(SolveService, ShedsLoadWhenTheQueueIsFull) {
   EXPECT_EQ(service.await(q2.id).result.status, MaxSatStatus::Optimum);
 }
 
+TEST(SolveService, ShedsLoadWhenTheMemoryCeilingWouldBeExceeded) {
+  const WcnfFormula blockerFormula = slowInstance();
+  const WcnfFormula small = WcnfFormula::allSoft(randomUnsat3Sat(12, 5.0, 1));
+
+  // memBytesEstimate counts vector *capacities*, and submit() estimates
+  // the copy it receives (capacity == size) — so size the ceiling from
+  // copies too, or the locally-built formulas' growth slack inflates it.
+  const std::int64_t blockerEst = WcnfFormula(blockerFormula).memBytesEstimate();
+  const std::int64_t smallEst = WcnfFormula(small).memBytesEstimate();
+  SolveServiceOptions so;
+  so.workers = 1;
+  // Room for the blocker plus half the small job: admission control
+  // must refuse the small job while the blocker holds its share.
+  so.max_service_mem_bytes = blockerEst + smallEst / 2;
+  SolveService service(so);
+
+  const auto blocker = service.submit(blockerFormula);
+  ASSERT_EQ(blocker.status, SolveService::SubmitStatus::kAccepted);
+  waitUntilRunning(service, blocker.id);
+
+  const auto shed = service.submit(small);
+  EXPECT_EQ(shed.status, SolveService::SubmitStatus::kOverloaded);
+  EXPECT_EQ(shed.id, kJobIdUndef);
+  EXPECT_EQ(service.counters().shed, 1);
+
+  // Releasing the blocker frees its share; the small job now fits.
+  ASSERT_TRUE(service.cancel(blocker.id));
+  static_cast<void>(service.await(blocker.id));
+  while (true) {  // finished-job bookkeeping races submit by one beat
+    const auto retry = service.submit(small);
+    if (retry.status == SolveService::SubmitStatus::kAccepted) {
+      EXPECT_EQ(service.await(retry.id).result.status, MaxSatStatus::Optimum);
+      break;
+    }
+    ASSERT_EQ(retry.status, SolveService::SubmitStatus::kOverloaded);
+    std::this_thread::yield();
+  }
+}
+
 // ---------------------------------------------------------------------
 // Per-job limits and graceful degradation.
 
